@@ -1,0 +1,32 @@
+//! Cost of MLP versus the heuristic baselines on the paper's circuits —
+//! the exact method is not meaningfully slower than the approximations it
+//! replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smo_core::{baseline, min_cycle_time};
+use smo_gen::paper;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    for (name, circuit) in [
+        ("example2", paper::example2()),
+        ("gaas_mips", paper::gaas_mips()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("mlp", name), &circuit, |b, ci| {
+            b.iter(|| min_cycle_time(ci).expect("solves").cycle_time())
+        });
+        group.bench_with_input(BenchmarkId::new("edge_triggered", name), &circuit, |b, ci| {
+            b.iter(|| baseline::edge_triggered(ci).expect("runs").cycle_time())
+        });
+        group.bench_with_input(BenchmarkId::new("single_borrow", name), &circuit, |b, ci| {
+            b.iter(|| baseline::single_borrow(ci).expect("runs").cycle_time())
+        });
+        group.bench_with_input(BenchmarkId::new("symmetric", name), &circuit, |b, ci| {
+            b.iter(|| baseline::symmetric_clock(ci).expect("runs").cycle_time())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

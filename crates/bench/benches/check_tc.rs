@@ -1,0 +1,58 @@
+//! Schedule verification throughput, and the §IV ablation: Jacobi versus
+//! Gauss-Seidel versus event-driven departure updates (the paper proposes
+//! the latter two as enhancements; this bench quantifies them).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smo_core::{min_cycle_time, verify, PropagationSystem};
+use smo_gen::random::{random_circuit, GenConfig};
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_tc/verify");
+    for l in [16usize, 64, 256] {
+        let cfg = GenConfig {
+            latches: l,
+            edges: l * 3 / 2,
+            phases: 2,
+            ..Default::default()
+        };
+        let circuit = random_circuit(&cfg, 3);
+        let sched = min_cycle_time(&circuit).expect("solves").schedule().clone();
+        group.bench_with_input(
+            BenchmarkId::new("latches", l),
+            &(circuit, sched),
+            |b, (ci, s)| b.iter(|| verify(ci, s).is_feasible()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_update_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_tc/update_mode");
+    let cfg = GenConfig {
+        latches: 128,
+        edges: 192,
+        phases: 2,
+        ..Default::default()
+    };
+    let circuit = random_circuit(&cfg, 5);
+    let sol = min_cycle_time(&circuit).expect("solves");
+    // a 5%-relaxed schedule leaves every loop gain strictly negative, so a
+    // start high above the fixpoint forces all three solvers to do real
+    // sliding work
+    let relaxed = sol.schedule().scaled(1.05);
+    let system = PropagationSystem::new(&circuit, &relaxed);
+    let start: Vec<f64> = sol.departures().iter().map(|d| d + 100.0).collect();
+    group.bench_function("jacobi", |b| {
+        b.iter(|| system.jacobi(&start, 100_000).iterations)
+    });
+    group.bench_function("gauss_seidel", |b| {
+        b.iter(|| system.gauss_seidel(&start, 100_000).iterations)
+    });
+    group.bench_function("event_driven", |b| {
+        b.iter(|| system.event_driven(&start, 10_000_000).iterations)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify, bench_update_modes);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Constraint-generation throughput: building the paper's LP "almost by
+//! inspection" (§III) should be cheap and linear in circuit size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smo_core::TimingModel;
+use smo_gen::random::{random_circuit, GenConfig};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraint_gen");
+    for l in [16usize, 128, 1024] {
+        let cfg = GenConfig {
+            latches: l,
+            edges: l * 2,
+            phases: 4,
+            ..Default::default()
+        };
+        let circuit = random_circuit(&cfg, 21);
+        group.bench_with_input(BenchmarkId::new("latches", l), &circuit, |b, ci| {
+            b.iter(|| TimingModel::build(ci).expect("model").num_constraints())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

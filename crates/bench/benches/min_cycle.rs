@@ -1,0 +1,45 @@
+//! End-to-end Algorithm MLP (LP + departure slide) versus circuit size,
+//! plus the paper's three example circuits (§V: "execution time … was
+//! hardly noticeable, on the order of a few seconds" for 91 constraints on
+//! a DECStation 3100).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smo_core::min_cycle_time;
+use smo_gen::paper;
+use smo_gen::random::{random_circuit, GenConfig};
+
+fn bench_examples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_cycle/paper");
+    for (name, circuit) in [
+        ("example1", paper::example1(80.0)),
+        ("example2", paper::example2()),
+        ("gaas_mips", paper::gaas_mips()),
+        ("appendix", paper::appendix_fig1(10.0, 1.0, 2.0)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, ci| {
+            b.iter(|| min_cycle_time(ci).expect("solves").cycle_time())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_cycle/random");
+    group.sample_size(10);
+    for l in [16usize, 64, 128] {
+        let cfg = GenConfig {
+            latches: l,
+            edges: l * 3 / 2,
+            phases: 2,
+            ..Default::default()
+        };
+        let circuit = random_circuit(&cfg, 11);
+        group.bench_with_input(BenchmarkId::new("latches", l), &circuit, |b, ci| {
+            b.iter(|| min_cycle_time(ci).expect("solves").cycle_time())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_examples, bench_scaling);
+criterion_main!(benches);

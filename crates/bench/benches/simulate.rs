@@ -1,0 +1,34 @@
+//! Behavioural simulator throughput (waves × synchronizers per second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smo_core::min_cycle_time;
+use smo_sim::{simulate, SimOptions};
+use smo_gen::random::{random_circuit, GenConfig};
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    for l in [16usize, 64, 256] {
+        let cfg = GenConfig {
+            latches: l,
+            edges: l * 3 / 2,
+            phases: 3,
+            ..Default::default()
+        };
+        let circuit = random_circuit(&cfg, 17);
+        let sched = min_cycle_time(&circuit).expect("solves").schedule().clone();
+        let opts = SimOptions {
+            max_waves: 32,
+            stop_on_convergence: false, // fixed work per iteration
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("latches", l),
+            &(circuit, sched, opts),
+            |b, (ci, s, o)| b.iter(|| simulate(ci, s, o).waves()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate);
+criterion_main!(benches);

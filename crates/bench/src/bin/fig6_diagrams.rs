@@ -1,0 +1,97 @@
+//! Fig. 6: timing diagrams for Example 1 at `Δ41 ∈ {80, 100, 120}` ns.
+//!
+//! Reproduces the paper's reported data:
+//!
+//! * the optimal cycle times 110 / 120 / 140 ns,
+//! * at `Δ41 = 120`: "a cycle time of 140 ns with signals departing from
+//!   latches 1 through 4, respectively, at 60 ns, 90 ns, 140 ns, and
+//!   210 ns", with the input to latch 3 valid at 120 ns — 20 ns before the
+//!   rising edge of φ1 — so departure waits for the edge at 140 ns,
+//! * the non-uniqueness observation for `Δ41 = 80`: two different optimal
+//!   clock schedules sharing `T_c = 110` (the top of Fig. 6).
+
+use smo_circuit::LatchId;
+use smo_core::{min_cycle_time, min_cycle_time_with, render_solution, MlpOptions};
+use smo_gen::paper::example1;
+
+fn main() {
+    smo_bench::header("Fig. 6 — Example 1 timing diagrams");
+    let expected_tc = [(80.0, 110.0), (100.0, 120.0), (120.0, 140.0)];
+    for (d41, tc) in expected_tc {
+        let circuit = example1(d41);
+        let sol = min_cycle_time(&circuit).expect("example 1 solves");
+        println!("\n--- Δ41 = {d41} ns ---");
+        assert!(
+            (sol.cycle_time() - tc).abs() < 1e-6,
+            "expected Tc = {tc}, got {}",
+            sol.cycle_time()
+        );
+        print!("{}", render_solution(&circuit, &sol));
+        // absolute departures within the steady-state cycle
+        for (id, s) in circuit.syncs() {
+            println!(
+                "  {} departs at {:.1} ns absolute (D = {:.1} relative to {})",
+                s.name,
+                sol.absolute_departure(id, s.phase),
+                sol.departure(id),
+                s.phase
+            );
+        }
+    }
+
+    // Fig. 6(c) check: the paper's absolute departures at Δ41 = 120 are
+    // 60/90/140/210 for a schedule with φ1 rising at 140 (= Tc) and the L3
+    // input valid at 120. Optimal schedules are not unique, so compare the
+    // *invariant* quantities: Tc and the steady-state inter-departure gaps.
+    let circuit = example1(120.0);
+    let sol = min_cycle_time(&circuit).expect("solves");
+    let d = |i: usize| sol.departure(LatchId::new(i));
+    let s = |n: usize| sol.schedule().start(smo_circuit::PhaseId::from_number(n));
+    let tc = sol.cycle_time();
+    // paper absolute times: L1: 60, L2: 90, L3: 140, L4: 210 (next cycle)
+    let abs = [
+        s(1) + d(0),
+        s(2) + d(1),
+        s(1) + d(2) + tc, // L3 departs at the *next* φ1 rising edge
+        s(2) + d(3) + tc,
+    ];
+    println!("\nΔ41 = 120 ns steady-state absolute departures (one wave):");
+    for (i, a) in abs.iter().enumerate() {
+        println!("  L{}: {a:.1} ns", i + 1);
+    }
+    let gaps: Vec<f64> = abs.windows(2).map(|w| w[1] - w[0]).collect();
+    println!("  inter-departure gaps: {gaps:?} (paper: [30, 50, 70])");
+    for (g, expect) in gaps.iter().zip([30.0, 50.0, 70.0]) {
+        assert!((g - expect).abs() < 1e-6, "gap {g} vs paper {expect}");
+    }
+    // L3's input is valid 20 ns before its enabling edge (it must wait):
+    let wait = -sol.arrival(LatchId::new(2));
+    println!("  L3 input valid {wait:.1} ns before φ1 rises (paper: 20 ns)");
+    assert!((wait - 20.0).abs() < 1e-6);
+
+    // Non-uniqueness at Δ41 = 80: canonical (compact) vs raw LP vertex.
+    smo_bench::header("Fig. 6(a) — two distinct optimal schedules at Δ41 = 80");
+    let circuit = example1(80.0);
+    let compact = min_cycle_time(&circuit).expect("solves");
+    let raw = min_cycle_time_with(
+        &circuit,
+        &MlpOptions {
+            canonicalize: false,
+            ..Default::default()
+        },
+    )
+    .expect("solves");
+    println!("canonical schedule:\n{}", compact.schedule());
+    println!("raw LP-vertex schedule:\n{}", raw.schedule());
+    assert!((compact.cycle_time() - raw.cycle_time()).abs() < 1e-6);
+    let same = (0..2).all(|i| {
+        let p = smo_circuit::PhaseId::new(i);
+        (compact.schedule().start(p) - raw.schedule().start(p)).abs() < 1e-9
+            && (compact.schedule().width(p) - raw.schedule().width(p)).abs() < 1e-9
+    });
+    println!(
+        "same cycle time {:.1} ns, schedules {} — the optimum of P2 is not unique",
+        compact.cycle_time(),
+        if same { "identical" } else { "different" }
+    );
+}

@@ -1,0 +1,41 @@
+//! Runs every experiment binary in DESIGN.md order, in-process.
+//!
+//! `cargo run -p smo-bench --bin run_all | tee experiments.log` regenerates
+//! every table and figure of the paper in one pass.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig1_appendix",
+        "fig3_clocks",
+        "fig4_geometry",
+        "fig6_diagrams",
+        "fig7_sweep",
+        "fig9_example2",
+        "fig11_gaas",
+        "table1_transistors",
+        "constraint_counts",
+        "ablations",
+        "delay_sensitivity",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    println!();
+    if failures.is_empty() {
+        println!("all {} experiments completed successfully", bins.len());
+    } else {
+        eprintln!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,64 @@
+//! # smo-bench — experiment harness for the SMO reproduction
+//!
+//! One binary per table/figure of the paper (see DESIGN.md for the index):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig1_appendix` | Fig. 1 / appendix constraint listing |
+//! | `fig3_clocks` | Fig. 3 clock templates |
+//! | `fig4_geometry` | Fig. 4 Theorem-1 geometry |
+//! | `fig6_diagrams` | Fig. 6 Example-1 timing diagrams |
+//! | `fig7_sweep` | Fig. 7 `T_c` vs `Δ41` |
+//! | `fig9_example2` | Figs. 8–9 Example-2 comparison |
+//! | `fig11_gaas` | Figs. 10–11 GaAs MIPS schedule |
+//! | `table1_transistors` | Table I |
+//! | `constraint_counts` | §IV/§V scalar observations |
+//! | `run_all` | everything above, in order |
+//!
+//! plus the Criterion benches under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Prints a section header in the experiment logs.
+pub fn header(title: &str) {
+    println!();
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Runs `f`, printing its wall-clock time with the given label.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    println!("[{label}: {:.3} ms]", start.elapsed().as_secs_f64() * 1e3);
+    out
+}
+
+/// Formats a row of an ASCII table with fixed column widths.
+pub fn row(cols: &[&str], widths: &[usize]) -> String {
+    let mut s = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        s.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    s.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_pads_columns() {
+        let s = row(&["a", "bb"], &[3, 4]);
+        assert_eq!(s, "  a    bb");
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        assert_eq!(timed("noop", || 42), 42);
+    }
+}

@@ -1,0 +1,82 @@
+//! Graphviz DOT export for circuit visualization.
+
+use crate::circuit::Circuit;
+use crate::sync::SyncKind;
+use std::fmt::Write as _;
+
+/// Renders the circuit as a Graphviz `digraph`: one node per synchronizer
+/// (box = latch, doublebox-ish `Msquare` = flip-flop), labelled with name
+/// and phase; one arrow per combinational edge labelled with its delay.
+///
+/// ```
+/// use smo_circuit::{netlist, to_dot};
+/// let c = netlist::parse("clock 1\nlatch A phase=1 setup=1 dq=2\n")?;
+/// let dot = to_dot(&c);
+/// assert!(dot.starts_with("digraph circuit {"));
+/// assert!(dot.contains("A"));
+/// # Ok::<(), smo_circuit::CircuitError>(())
+/// ```
+pub fn to_dot(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph circuit {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+    for (id, s) in circuit.syncs() {
+        let shape = match s.kind {
+            SyncKind::Latch => "box",
+            SyncKind::FlipFlop => "Msquare",
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\n{}\" shape={shape}];",
+            id.index(),
+            escape(&s.name),
+            s.phase
+        );
+    }
+    for e in circuit.edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            e.from.index(),
+            e.to.index(),
+            e.max_delay
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::ids::PhaseId;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = CircuitBuilder::new(2);
+        let a = b.add_latch("A", PhaseId::from_number(1), 1.0, 1.0);
+        let f = b.add_flip_flop("F", PhaseId::from_number(2), 1.0, 1.0);
+        b.connect(a, f, 7.5);
+        let c = b.build().unwrap();
+        let dot = to_dot(&c);
+        assert!(dot.contains("digraph circuit {"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=Msquare"));
+        assert!(dot.contains("n0 -> n1 [label=\"7.5\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut b = CircuitBuilder::new(1);
+        b.add_latch("we\"ird", PhaseId::from_number(1), 1.0, 1.0);
+        let c = b.build().unwrap();
+        assert!(to_dot(&c).contains("we\\\"ird"));
+    }
+}

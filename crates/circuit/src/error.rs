@@ -1,0 +1,158 @@
+//! Error type for circuit construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported while building or validating circuits, clock schedules
+/// and netlists.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A synchronizer references a phase `≥ k`.
+    PhaseOutOfRange {
+        /// Synchronizer name.
+        latch: String,
+        /// One-based phase number that was requested.
+        phase: usize,
+        /// Number of phases in the clock.
+        num_phases: usize,
+    },
+    /// A latch parameter (setup, dq, hold) is negative or non-finite.
+    InvalidLatchParameter {
+        /// Synchronizer name.
+        latch: String,
+        /// Which parameter is bad.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The paper's assumption `Δ_DQ ≥ Δ_DC` is violated for a latch.
+    DqBelowSetup {
+        /// Synchronizer name.
+        latch: String,
+        /// Declared propagation delay.
+        dq: f64,
+        /// Declared setup time.
+        setup: f64,
+    },
+    /// An edge delay is negative, non-finite, or `min_delay > max_delay`.
+    InvalidEdgeDelay {
+        /// Source synchronizer name.
+        from: String,
+        /// Destination synchronizer name.
+        to: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// Two synchronizers share a name.
+    DuplicateName {
+        /// The non-unique name.
+        name: String,
+    },
+    /// A synchronizer name is empty or contains characters the netlist
+    /// text format cannot round-trip (whitespace, `#`).
+    InvalidName {
+        /// The offending name.
+        name: String,
+    },
+    /// An edge references a synchronizer id that does not exist.
+    UnknownLatch {
+        /// The out-of-range index (zero-based).
+        index: usize,
+    },
+    /// The circuit has no synchronizers.
+    EmptyCircuit,
+    /// A concrete clock schedule violates the clock constraints.
+    InvalidSchedule {
+        /// Explanation.
+        reason: String,
+    },
+    /// Gates form a loop with no synchronizer on it (the paper's stages
+    /// must be feedback-free combinational logic).
+    CombinationalCycle {
+        /// A gate on the loop.
+        gate: String,
+    },
+    /// A netlist failed to parse.
+    ParseNetlist {
+        /// One-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::PhaseOutOfRange {
+                latch,
+                phase,
+                num_phases,
+            } => write!(
+                f,
+                "latch `{latch}` uses phase {phase} but the clock has only {num_phases} phases"
+            ),
+            CircuitError::InvalidLatchParameter {
+                latch,
+                parameter,
+                value,
+            } => write!(
+                f,
+                "latch `{latch}` has invalid {parameter} {value} (must be finite and non-negative)"
+            ),
+            CircuitError::DqBelowSetup { latch, dq, setup } => write!(
+                f,
+                "latch `{latch}` has Δ_DQ = {dq} below Δ_DC = {setup} (the model assumes Δ_DQ ≥ Δ_DC)"
+            ),
+            CircuitError::InvalidEdgeDelay { from, to, reason } => {
+                write!(f, "edge `{from}` → `{to}`: {reason}")
+            }
+            CircuitError::DuplicateName { name } => {
+                write!(f, "duplicate synchronizer name `{name}`")
+            }
+            CircuitError::InvalidName { name } => {
+                write!(
+                    f,
+                    "invalid synchronizer name `{name}` (must be non-empty, no whitespace or `#`)"
+                )
+            }
+            CircuitError::UnknownLatch { index } => {
+                write!(f, "edge references unknown synchronizer index {index}")
+            }
+            CircuitError::EmptyCircuit => write!(f, "circuit has no synchronizers"),
+            CircuitError::InvalidSchedule { reason } => {
+                write!(f, "invalid clock schedule: {reason}")
+            }
+            CircuitError::CombinationalCycle { gate } => {
+                write!(f, "combinational cycle through gate `{gate}` (no synchronizer on the loop)")
+            }
+            CircuitError::ParseNetlist { line, message } => {
+                write!(f, "netlist parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_culprit() {
+        let e = CircuitError::PhaseOutOfRange {
+            latch: "L7".into(),
+            phase: 5,
+            num_phases: 2,
+        };
+        let m = e.to_string();
+        assert!(m.contains("L7") && m.contains('5') && m.contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

@@ -1,0 +1,532 @@
+//! A small text netlist format (the paper's "simple parser").
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # Example 1 of the paper (Δ41 = 80)
+//! clock 2
+//! latch L1 phase=1 setup=10 dq=10
+//! latch L2 phase=2 setup=10 dq=10
+//! ff    F1 phase=1 setup=0.2 dq=0.3 hold=0.1
+//! path  L1 L2 delay=20
+//! path  L2 L1 delay=60 min=5
+//! ```
+//!
+//! * `clock k` — must appear once, before any element;
+//! * `latch NAME phase=P setup=S dq=D [hold=H]` — a level-sensitive latch;
+//! * `ff NAME phase=P setup=S dq=D [hold=H]` — an edge-triggered flip-flop;
+//! * `path FROM TO delay=D [min=M]` — a combinational edge;
+//! * `#` starts a comment; blank lines are ignored.
+//!
+//! [`parse`] and [`write`] round-trip: `parse(&write(c)) == c` for every
+//! valid circuit.
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::gates::{GateNetlistBuilder, NodeId};
+use crate::ids::{LatchId, PhaseId};
+use crate::sync::{SyncKind, Synchronizer};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parses a netlist into a validated [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::ParseNetlist`] with a one-based line number for
+/// syntax problems, and the usual structural errors from
+/// [`CircuitBuilder::build`] for semantic ones.
+///
+/// # Examples
+///
+/// ```
+/// let src = "clock 1\nlatch A phase=1 setup=1 dq=2\n";
+/// let c = smo_circuit::netlist::parse(src)?;
+/// assert_eq!(c.num_latches(), 1);
+/// # Ok::<(), smo_circuit::CircuitError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Circuit, CircuitError> {
+    let mut builder: Option<CircuitBuilder> = None;
+    let mut ids: HashMap<String, LatchId> = HashMap::new();
+
+    for (lineno0, raw) in src.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let err = |message: String| CircuitError::ParseNetlist {
+            line: lineno,
+            message,
+        };
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a first token");
+        match keyword {
+            "clock" => {
+                if builder.is_some() {
+                    return Err(err("duplicate `clock` line".into()));
+                }
+                let k: usize = tokens
+                    .next()
+                    .ok_or_else(|| err("`clock` needs a phase count".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("bad phase count: {e}")))?;
+                if k == 0 {
+                    return Err(err("clock must have at least one phase".into()));
+                }
+                builder = Some(CircuitBuilder::new(k));
+            }
+            "latch" | "ff" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err("`clock` line must come first".into()))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(format!("`{keyword}` needs a name")))?
+                    .to_string();
+                let kv = parse_kv(tokens, lineno)?;
+                let phase = *kv
+                    .get("phase")
+                    .ok_or_else(|| err("missing phase=".into()))?;
+                let setup = *kv
+                    .get("setup")
+                    .ok_or_else(|| err("missing setup=".into()))?;
+                let dq = *kv.get("dq").ok_or_else(|| err("missing dq=".into()))?;
+                let hold = kv.get("hold").copied().unwrap_or(0.0);
+                for key in kv.keys() {
+                    if !matches!(key.as_str(), "phase" | "setup" | "dq" | "hold") {
+                        return Err(err(format!("unknown attribute `{key}`")));
+                    }
+                }
+                if phase.fract() != 0.0 || phase < 1.0 {
+                    return Err(err(format!("phase must be a positive integer, got {phase}")));
+                }
+                let phase = PhaseId::from_number(phase as usize);
+                let sync = match keyword {
+                    "latch" => Synchronizer::latch(&name, phase, setup, dq),
+                    _ => Synchronizer::flip_flop(&name, phase, setup, dq),
+                };
+                let id = b.add_sync(sync.with_hold(hold));
+                if ids.insert(name.clone(), id).is_some() {
+                    return Err(err(format!("duplicate element name `{name}`")));
+                }
+            }
+            "path" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err("`clock` line must come first".into()))?;
+                let from_name = tokens
+                    .next()
+                    .ok_or_else(|| err("`path` needs a source".into()))?;
+                let to_name = tokens
+                    .next()
+                    .ok_or_else(|| err("`path` needs a destination".into()))?;
+                let kv = parse_kv(tokens, lineno)?;
+                let delay = *kv
+                    .get("delay")
+                    .ok_or_else(|| err("missing delay=".into()))?;
+                let min = kv.get("min").copied().unwrap_or(0.0);
+                for key in kv.keys() {
+                    if !matches!(key.as_str(), "delay" | "min") {
+                        return Err(err(format!("unknown attribute `{key}`")));
+                    }
+                }
+                let from = *ids
+                    .get(from_name)
+                    .ok_or_else(|| err(format!("unknown element `{from_name}`")))?;
+                let to = *ids
+                    .get(to_name)
+                    .ok_or_else(|| err(format!("unknown element `{to_name}`")))?;
+                b.connect_min_max(from, to, min, delay);
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown keyword `{other}` (expected clock/latch/ff/path)"
+                )));
+            }
+        }
+    }
+
+    builder
+        .ok_or(CircuitError::ParseNetlist {
+            line: src.lines().count().max(1),
+            message: "netlist contains no `clock` line".into(),
+        })?
+        .build()
+}
+
+fn parse_kv<'a>(
+    tokens: impl Iterator<Item = &'a str>,
+    lineno: usize,
+) -> Result<HashMap<String, f64>, CircuitError> {
+    let mut kv = HashMap::new();
+    for t in tokens {
+        let (key, value) = t.split_once('=').ok_or(CircuitError::ParseNetlist {
+            line: lineno,
+            message: format!("expected key=value, got `{t}`"),
+        })?;
+        let value: f64 = value.parse().map_err(|e| CircuitError::ParseNetlist {
+            line: lineno,
+            message: format!("bad value for `{key}`: {e}"),
+        })?;
+        if kv.insert(key.to_string(), value).is_some() {
+            return Err(CircuitError::ParseNetlist {
+                line: lineno,
+                message: format!("duplicate attribute `{key}`"),
+            });
+        }
+    }
+    Ok(kv)
+}
+
+/// Parses a *gate-level* netlist and extracts the latch-graph circuit.
+///
+/// In addition to the element lines of [`parse`], two keywords describe
+/// gate-level structure:
+///
+/// ```text
+/// clock 2
+/// latch A phase=1 setup=1 dq=2
+/// latch B phase=2 setup=1 dq=2
+/// gate  and1 min=1 max=3
+/// wire  A and1
+/// wire  and1 B
+/// ```
+///
+/// * `gate NAME min=δ max=Δ` — a combinational gate;
+/// * `wire FROM TO` — a zero-delay connection between any two elements.
+///
+/// The latch-to-latch delays are computed by longest/shortest path over the
+/// gate DAG (see [`gates`](crate::gates)).
+///
+/// # Errors
+///
+/// [`CircuitError::ParseNetlist`] for syntax problems,
+/// [`CircuitError::CombinationalCycle`] and the usual structural errors
+/// from extraction.
+///
+/// # Examples
+///
+/// ```
+/// let src = "clock 1\nlatch A phase=1 setup=1 dq=2\nlatch B phase=1 setup=1 dq=2\n\
+///            gate g min=1 max=3\nwire A g\nwire g B\n";
+/// let c = smo_circuit::netlist::parse_gates(src)?;
+/// assert_eq!(c.num_edges(), 1);
+/// assert_eq!(c.edges()[0].max_delay, 3.0);
+/// # Ok::<(), smo_circuit::CircuitError>(())
+/// ```
+pub fn parse_gates(src: &str) -> Result<Circuit, CircuitError> {
+    let mut builder: Option<GateNetlistBuilder> = None;
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+
+    for (lineno0, raw) in src.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let err = |message: String| CircuitError::ParseNetlist {
+            line: lineno,
+            message,
+        };
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a first token");
+        match keyword {
+            "clock" => {
+                if builder.is_some() {
+                    return Err(err("duplicate `clock` line".into()));
+                }
+                let k: usize = tokens
+                    .next()
+                    .ok_or_else(|| err("`clock` needs a phase count".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("bad phase count: {e}")))?;
+                if k == 0 {
+                    return Err(err("clock must have at least one phase".into()));
+                }
+                builder = Some(GateNetlistBuilder::new(k));
+            }
+            "latch" | "ff" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err("`clock` line must come first".into()))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(format!("`{keyword}` needs a name")))?
+                    .to_string();
+                let kv = parse_kv(tokens, lineno)?;
+                let phase = *kv.get("phase").ok_or_else(|| err("missing phase=".into()))?;
+                let setup = *kv.get("setup").ok_or_else(|| err("missing setup=".into()))?;
+                let dq = *kv.get("dq").ok_or_else(|| err("missing dq=".into()))?;
+                let hold = kv.get("hold").copied().unwrap_or(0.0);
+                for key in kv.keys() {
+                    if !matches!(key.as_str(), "phase" | "setup" | "dq" | "hold") {
+                        return Err(err(format!("unknown attribute `{key}`")));
+                    }
+                }
+                if phase.fract() != 0.0 || phase < 1.0 {
+                    return Err(err(format!("phase must be a positive integer, got {phase}")));
+                }
+                let phase = PhaseId::from_number(phase as usize);
+                let sync = match keyword {
+                    "latch" => Synchronizer::latch(&name, phase, setup, dq),
+                    _ => Synchronizer::flip_flop(&name, phase, setup, dq),
+                };
+                let id = b.add_sync(sync.with_hold(hold));
+                if ids.insert(name.clone(), id).is_some() {
+                    return Err(err(format!("duplicate element name `{name}`")));
+                }
+            }
+            "gate" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err("`clock` line must come first".into()))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err("`gate` needs a name".into()))?
+                    .to_string();
+                let kv = parse_kv(tokens, lineno)?;
+                let max = *kv.get("max").ok_or_else(|| err("missing max=".into()))?;
+                let min = kv.get("min").copied().unwrap_or(0.0);
+                for key in kv.keys() {
+                    if !matches!(key.as_str(), "min" | "max") {
+                        return Err(err(format!("unknown attribute `{key}`")));
+                    }
+                }
+                let id = b.add_gate(&name, min, max);
+                if ids.insert(name.clone(), id).is_some() {
+                    return Err(err(format!("duplicate element name `{name}`")));
+                }
+            }
+            "wire" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err("`clock` line must come first".into()))?;
+                let from = tokens
+                    .next()
+                    .ok_or_else(|| err("`wire` needs a source".into()))?;
+                let to = tokens
+                    .next()
+                    .ok_or_else(|| err("`wire` needs a destination".into()))?;
+                let f = *ids
+                    .get(from)
+                    .ok_or_else(|| err(format!("unknown element `{from}`")))?;
+                let t = *ids
+                    .get(to)
+                    .ok_or_else(|| err(format!("unknown element `{to}`")))?;
+                b.wire(f, t)?;
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown keyword `{other}` (expected clock/latch/ff/gate/wire)"
+                )));
+            }
+        }
+    }
+    builder
+        .ok_or(CircuitError::ParseNetlist {
+            line: src.lines().count().max(1),
+            message: "netlist contains no `clock` line".into(),
+        })?
+        .extract()
+}
+
+/// Serializes a circuit into the netlist text format.
+///
+/// The output parses back into an identical circuit.
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "clock {}", circuit.num_phases());
+    for (_, s) in circuit.syncs() {
+        let keyword = match s.kind {
+            SyncKind::Latch => "latch",
+            SyncKind::FlipFlop => "ff",
+        };
+        let _ = write!(
+            out,
+            "{keyword} {} phase={} setup={} dq={}",
+            s.name,
+            s.phase.number(),
+            s.setup,
+            s.dq
+        );
+        if s.hold != 0.0 {
+            let _ = write!(out, " hold={}", s.hold);
+        }
+        let _ = writeln!(out);
+    }
+    for e in circuit.edges() {
+        let _ = write!(
+            out,
+            "path {} {} delay={}",
+            circuit.sync(e.from).name,
+            circuit.sync(e.to).name,
+            e.max_delay
+        );
+        if e.min_delay != 0.0 {
+            let _ = write!(out, " min={}", e.min_delay);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    const EXAMPLE: &str = "\
+# Example 1 of the paper
+clock 2
+latch L1 phase=1 setup=10 dq=10
+latch L2 phase=2 setup=10 dq=10
+latch L3 phase=1 setup=10 dq=10
+latch L4 phase=2 setup=10 dq=10
+path L1 L2 delay=20
+path L2 L3 delay=20
+path L3 L4 delay=60
+path L4 L1 delay=80
+";
+
+    #[test]
+    fn parses_example_circuit() {
+        let c = parse(EXAMPLE).unwrap();
+        assert_eq!(c.num_phases(), 2);
+        assert_eq!(c.num_latches(), 4);
+        assert_eq!(c.num_edges(), 4);
+        let l4 = c.find("L4").unwrap();
+        assert_eq!(c.sync(l4).phase.number(), 2);
+    }
+
+    #[test]
+    fn round_trips() {
+        let c = parse(EXAMPLE).unwrap();
+        let text = write(&c);
+        let c2 = parse(&text).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn round_trips_holds_and_min_delays() {
+        let mut b = CircuitBuilder::new(2);
+        let a = b.add_sync(
+            Synchronizer::latch("A", PhaseId::from_number(1), 1.0, 2.0).with_hold(0.5),
+        );
+        let f = b.add_flip_flop("F", PhaseId::from_number(2), 0.25, 0.5);
+        b.connect_min_max(a, f, 1.5, 4.0);
+        let c = b.build().unwrap();
+        let c2 = parse(&write(&c)).unwrap();
+        assert_eq!(c, c2);
+        assert_eq!(c2.sync(c2.find("A").unwrap()).hold, 0.5);
+        assert_eq!(c2.edges()[0].min_delay, 1.5);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let src = "clock 2\nlatch A phase=1 setup=1 dq=2\nbogus line here\n";
+        match parse(src).unwrap_err() {
+            CircuitError::ParseNetlist { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("bogus"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_clock() {
+        assert!(matches!(
+            parse("latch A phase=1 setup=1 dq=2\n").unwrap_err(),
+            CircuitError::ParseNetlist { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse("# nothing\n").unwrap_err(),
+            CircuitError::ParseNetlist { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_attribute_and_duplicates() {
+        let src = "clock 1\nlatch A phase=1 setup=1 dq=2 zap=3\n";
+        assert!(parse(src).is_err());
+        let src = "clock 1\nlatch A phase=1 setup=1 setup=2 dq=2\n";
+        assert!(parse(src).is_err());
+        let src = "clock 1\nlatch A phase=1 setup=1 dq=2\nlatch A phase=1 setup=1 dq=2\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_path_endpoint() {
+        let src = "clock 1\nlatch A phase=1 setup=1 dq=2\npath A B delay=3\n";
+        match parse(src).unwrap_err() {
+            CircuitError::ParseNetlist { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains('B'));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored_anywhere() {
+        let src = "\n# lead\nclock 1 # trailing\n\nlatch A phase=1 setup=1 dq=2\n";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn fractional_phase_rejected() {
+        let src = "clock 2\nlatch A phase=1.5 setup=1 dq=2\n";
+        assert!(parse(src).is_err());
+    }
+
+    const GATE_EXAMPLE: &str = "\
+clock 2
+latch A phase=1 setup=1 dq=2
+latch B phase=2 setup=1 dq=2
+gate g1 min=1 max=5
+gate g2 min=2 max=2
+wire A g1
+wire A g2
+wire g1 B
+wire g2 B
+wire B A      # feedback wire, zero delay
+";
+
+    #[test]
+    fn gate_netlist_extracts_worst_case_paths() {
+        let c = parse_gates(GATE_EXAMPLE).unwrap();
+        assert_eq!(c.num_syncs(), 2);
+        assert_eq!(c.num_edges(), 2);
+        let ab = c
+            .edges()
+            .iter()
+            .find(|e| e.from != e.to && e.max_delay > 0.0)
+            .unwrap();
+        assert_eq!(ab.max_delay, 5.0);
+        assert_eq!(ab.min_delay, 1.0);
+    }
+
+    #[test]
+    fn gate_netlist_reports_cycle() {
+        let src = "clock 1\nlatch A phase=1 setup=1 dq=2\ngate g1 max=1\ngate g2 max=1\n\
+                   wire A g1\nwire g1 g2\nwire g2 g1\n";
+        assert!(matches!(
+            parse_gates(src).unwrap_err(),
+            CircuitError::CombinationalCycle { .. }
+        ));
+    }
+
+    #[test]
+    fn gate_netlist_rejects_unknown_wire_endpoint() {
+        let src = "clock 1\nlatch A phase=1 setup=1 dq=2\nwire A nope\n";
+        match parse_gates(src).unwrap_err() {
+            CircuitError::ParseNetlist { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("nope"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Circuit simplification transforms.
+//!
+//! The paper notes (§IV) that "by lumping latches corresponding to vector
+//! signals with similar timing (e.g., 32-bit data buses), the number l can
+//! be reasonably small even for large circuits". This module provides the
+//! timing-preserving reductions a front end would apply before analysis:
+//!
+//! * [`merge_parallel_edges`] — collapse multiple combinational paths
+//!   between the same pair of synchronizers into one edge carrying the
+//!   longest `Δ` (and the shortest `δ` for hold analysis); the SMO `max`
+//!   semantics make this exactly timing-equivalent while shrinking the LP;
+//! * [`lump_equivalent_latches`] — merge synchronizers that are exact
+//!   timing replicas of each other (same kind, phase, setup, dq, hold and
+//!   identical fan-in/fan-out delay multisets), the "32-bit bus" lumping.
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Circuit;
+use crate::ids::LatchId;
+use std::collections::BTreeMap;
+
+/// Returns a circuit with all parallel edges merged: for each ordered pair
+/// of synchronizers, one edge with the maximum `max_delay` and the minimum
+/// `min_delay` of the originals.
+///
+/// Timing-equivalent: arrival times (eq. 14) are maxima over fan-in, so
+/// only the longest delay per pair matters for late mode; hold analysis is
+/// conservative with the shortest.
+pub fn merge_parallel_edges(circuit: &Circuit) -> Circuit {
+    let mut merged: BTreeMap<(LatchId, LatchId), (f64, f64)> = BTreeMap::new();
+    for e in circuit.edges() {
+        merged
+            .entry((e.from, e.to))
+            .and_modify(|(max_d, min_d)| {
+                *max_d = max_d.max(e.max_delay);
+                *min_d = min_d.min(e.min_delay);
+            })
+            .or_insert((e.max_delay, e.min_delay));
+    }
+    let mut b = CircuitBuilder::new(circuit.num_phases());
+    for (_, s) in circuit.syncs() {
+        b.add_sync(s.clone());
+    }
+    for ((from, to), (max_d, min_d)) in merged {
+        b.connect_min_max(from, to, min_d, max_d);
+    }
+    b.build().expect("merging preserves validity")
+}
+
+/// Merges timing-equivalent synchronizers found by fan-in colour
+/// refinement (the coarsest timing bisimulation).
+///
+/// Two synchronizers are merged when they have identical parameters
+/// (kind, phase, setup, dq, hold) **and** identical multisets of
+/// `(max delay, min delay, source class)` over their fan-in, recursively.
+/// Bits of a uniformly wired bus land in the same class even though each
+/// bit has a *different* neighbour (its own slice), because the neighbours
+/// are themselves equivalent.
+///
+/// Soundness: departure times depend only on fan-in (eq. 17), so members
+/// of a class have equal departures in every least fixpoint; collapsing
+/// them (and merging the resulting parallel edges worst-case) leaves the
+/// optimal cycle time unchanged. This is property-tested in `tests/` and
+/// demonstrated at scale by `examples/bus_lumping.rs`.
+///
+/// Returns the reduced circuit and, for each original synchronizer, the id
+/// of its representative in the reduced circuit.
+pub fn lump_equivalent_latches(circuit: &Circuit) -> (Circuit, Vec<LatchId>) {
+    let n = circuit.num_syncs();
+    // initial colours: local parameters only
+    let mut colors: Vec<u64> = circuit
+        .latch_ids()
+        .map(|id| {
+            let s = circuit.sync(id);
+            hash_str(&format!(
+                "{:?}|{}|{}|{}|{}",
+                s.kind,
+                s.phase.index(),
+                s.setup.to_bits(),
+                s.dq.to_bits(),
+                s.hold.to_bits()
+            ))
+        })
+        .collect();
+    // refine on fan-in multisets until stable (at most n rounds)
+    for _ in 0..n {
+        let mut next = Vec::with_capacity(n);
+        for id in circuit.latch_ids() {
+            let mut fanin: Vec<(u64, u64, u64)> = circuit
+                .fanin(id)
+                .iter()
+                .map(|&e| {
+                    let e = circuit.edge(e);
+                    (
+                        e.max_delay.to_bits(),
+                        e.min_delay.to_bits(),
+                        colors[e.from.index()],
+                    )
+                })
+                .collect();
+            fanin.sort_unstable();
+            next.push(hash_str(&format!("{}|{:?}", colors[id.index()], fanin)));
+        }
+        if next == colors {
+            break;
+        }
+        colors = next;
+    }
+
+    // group by colour; the smallest id of each class is its representative
+    let mut repr_of = vec![LatchId::new(0); n];
+    let mut first_of: BTreeMap<u64, LatchId> = BTreeMap::new();
+    for id in circuit.latch_ids() {
+        let rep = *first_of.entry(colors[id.index()]).or_insert(id);
+        repr_of[id.index()] = rep;
+    }
+    let mut keep: Vec<LatchId> = first_of.values().copied().collect();
+    keep.sort();
+    let new_index: BTreeMap<LatchId, usize> =
+        keep.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+
+    let mut b = CircuitBuilder::new(circuit.num_phases());
+    for &old in &keep {
+        b.add_sync(circuit.sync(old).clone());
+    }
+    // edges between representatives, merged worst-case
+    let mut merged: BTreeMap<(usize, usize), (f64, f64)> = BTreeMap::new();
+    for e in circuit.edges() {
+        let f = new_index[&repr_of[e.from.index()]];
+        let t = new_index[&repr_of[e.to.index()]];
+        merged
+            .entry((f, t))
+            .and_modify(|(max_d, min_d)| {
+                *max_d = max_d.max(e.max_delay);
+                *min_d = min_d.min(e.min_delay);
+            })
+            .or_insert((e.max_delay, e.min_delay));
+    }
+    for ((f, t), (max_d, min_d)) in merged {
+        b.connect_min_max(LatchId::new(f), LatchId::new(t), min_d, max_d);
+    }
+    let reduced = b.build().expect("lumping preserves validity");
+    let map = repr_of
+        .into_iter()
+        .map(|rep| LatchId::new(new_index[&rep]))
+        .collect();
+    (reduced, map)
+}
+
+fn hash_str(s: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PhaseId;
+
+    fn p(n: usize) -> PhaseId {
+        PhaseId::from_number(n)
+    }
+
+    #[test]
+    fn parallel_edges_collapse_to_worst_case() {
+        let mut b = CircuitBuilder::new(2);
+        let a = b.add_latch("A", p(1), 1.0, 1.0);
+        let c2 = b.add_latch("B", p(2), 1.0, 1.0);
+        b.connect_min_max(a, c2, 3.0, 10.0);
+        b.connect_min_max(a, c2, 1.0, 25.0);
+        b.connect_min_max(a, c2, 6.0, 7.0);
+        let c = b.build().unwrap();
+        let m = merge_parallel_edges(&c);
+        assert_eq!(m.num_edges(), 1);
+        assert_eq!(m.edges()[0].max_delay, 25.0);
+        assert_eq!(m.edges()[0].min_delay, 1.0);
+        assert_eq!(m.num_syncs(), 2);
+    }
+
+    #[test]
+    fn lumping_merges_bit_slices() {
+        // a 4-bit "bus": four identical latches fed identically from a
+        // source and feeding a sink identically.
+        let mut b = CircuitBuilder::new(2);
+        let src = b.add_latch("src", p(1), 1.0, 1.0);
+        let sink = b.add_latch("sink", p(1), 1.0, 1.0);
+        let bits: Vec<LatchId> = (0..4)
+            .map(|i| b.add_latch(format!("bus{i}"), p(2), 2.0, 2.0))
+            .collect();
+        for &bit in &bits {
+            b.connect(src, bit, 5.0);
+            b.connect(bit, sink, 6.0);
+        }
+        let c = b.build().unwrap();
+        let (reduced, map) = lump_equivalent_latches(&c);
+        assert_eq!(reduced.num_syncs(), 3, "{reduced}");
+        assert_eq!(reduced.num_edges(), 2);
+        // all bits map to the same representative
+        let rep = map[bits[0].index()];
+        assert!(bits.iter().all(|&bit| map[bit.index()] == rep));
+        // src and sink map to themselves (distinct)
+        assert_ne!(map[src.index()], map[sink.index()]);
+    }
+
+    #[test]
+    fn lumping_keeps_distinct_timing_apart() {
+        let mut b = CircuitBuilder::new(2);
+        let src = b.add_latch("src", p(1), 1.0, 1.0);
+        let fast = b.add_latch("fast", p(2), 2.0, 2.0);
+        let slow = b.add_latch("slow", p(2), 2.0, 2.0);
+        b.connect(src, fast, 5.0);
+        b.connect(src, slow, 9.0); // different delay → not equivalent
+        let c = b.build().unwrap();
+        let (reduced, _) = lump_equivalent_latches(&c);
+        assert_eq!(reduced.num_syncs(), 3);
+    }
+
+    #[test]
+    fn lumping_identity_on_irreducible_circuits() {
+        let mut b = CircuitBuilder::new(2);
+        let a = b.add_latch("A", p(1), 1.0, 1.0);
+        let c2 = b.add_latch("B", p(2), 2.0, 2.0);
+        b.connect(a, c2, 5.0);
+        b.connect(c2, a, 7.0);
+        let c = b.build().unwrap();
+        let (reduced, map) = lump_equivalent_latches(&c);
+        assert_eq!(reduced.num_syncs(), 2);
+        assert_eq!(reduced.num_edges(), 2);
+        assert_eq!(map.len(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! ASCII timing diagrams in the style of the paper's Figs. 6 and 11
+//! (the "graphical output routines" of the initial implementation).
+//!
+//! [`render_schedule`] draws two complete cycles of a clock schedule, one
+//! row per phase, with `█` for the active interval. [`render_solution`]
+//! adds one strip per synchronizer showing when the latest data signal
+//! arrives (`a`) and departs (`D`) within each cycle; a run of `·` between
+//! the phase start and a pre-arrived signal's departure visualizes the
+//! "gaps in the strips [that] indicate signals that arrive earlier than …
+//! the enabling edge" of Fig. 6.
+
+use crate::solution::TimingSolution;
+use smo_circuit::{Circuit, ClockSchedule, PhaseId};
+use std::fmt::Write as _;
+
+/// Number of text columns used for one clock cycle.
+const CYCLE_COLS: usize = 40;
+
+fn col(t: f64, cycle: f64, total_cols: usize) -> usize {
+    let span = 2.0 * cycle;
+    let frac = (t.rem_euclid(span)) / span;
+    ((frac * total_cols as f64) as usize).min(total_cols - 1)
+}
+
+/// Renders two cycles of `schedule`, one row per phase.
+///
+/// ```
+/// use smo_circuit::ClockSchedule;
+/// let sched = ClockSchedule::symmetric(2, 100.0, 10.0)?;
+/// let art = smo_core::render_schedule(&sched);
+/// assert!(art.contains("φ1"));
+/// # Ok::<(), smo_circuit::CircuitError>(())
+/// ```
+pub fn render_schedule(schedule: &ClockSchedule) -> String {
+    let mut out = String::new();
+    let cycle = schedule.cycle();
+    let total = 2 * CYCLE_COLS;
+    let _ = writeln!(
+        out,
+        "Tc = {:.4}   (two cycles, 1 column = {:.4})",
+        cycle,
+        cycle / CYCLE_COLS as f64
+    );
+    if cycle <= 0.0 {
+        return out;
+    }
+    for i in 0..schedule.num_phases() {
+        let p = PhaseId::new(i);
+        let mut row = vec!['░'; total];
+        for rep in 0..2 {
+            let s = schedule.start(p) + rep as f64 * cycle;
+            let e = s + schedule.width(p);
+            let c0 = (s / (2.0 * cycle) * total as f64).round() as usize;
+            let c1 = (e / (2.0 * cycle) * total as f64).round() as usize;
+            for cell in row.iter_mut().take(c1.min(total)).skip(c0.min(total)) {
+                *cell = '█';
+            }
+            // phases may wrap past the second cycle's end
+            if e > 2.0 * cycle {
+                let wrap = ((e - 2.0 * cycle) / (2.0 * cycle) * total as f64).round() as usize;
+                for cell in row.iter_mut().take(wrap.min(total)) {
+                    *cell = '█';
+                }
+            }
+        }
+        let _ = writeln!(out, "{p} {}", row.into_iter().collect::<String>());
+    }
+    let mut axis = vec![' '; total];
+    axis[0] = '0';
+    axis[total / 2] = '|';
+    let _ = writeln!(out, "   {}", axis.into_iter().collect::<String>());
+    let _ = writeln!(out, "   0 = cycle start, | = {cycle:.4}");
+    out
+}
+
+/// Renders the clock schedule of `solution` plus one strip per synchronizer
+/// of `circuit`: `a` marks the (absolute) arrival of the latest input
+/// signal, `D` the departure, `·` the wait between the two when the signal
+/// arrived before the enabling edge.
+///
+/// # Panics
+///
+/// Panics if `solution` does not belong to `circuit` (length mismatch).
+pub fn render_solution(circuit: &Circuit, solution: &TimingSolution) -> String {
+    assert_eq!(
+        circuit.num_syncs(),
+        solution.departures().len(),
+        "solution must belong to the circuit"
+    );
+    let schedule = solution.schedule();
+    let cycle = schedule.cycle();
+    let mut out = render_schedule(schedule);
+    if cycle <= 0.0 {
+        return out;
+    }
+    let total = 2 * CYCLE_COLS;
+    for (id, s) in circuit.syncs() {
+        let mut row = vec![' '; total];
+        let dep_abs = schedule.start(s.phase) + solution.departure(id);
+        let arr = solution.arrival(id);
+        for rep in 0..2 {
+            let off = rep as f64 * cycle;
+            let dc = col(dep_abs + off, cycle, total);
+            if arr.is_finite() {
+                let arr_abs = schedule.start(s.phase) + arr;
+                let ac = col(arr_abs + off, cycle, total);
+                // wait region (signal arrived before the phase opened)
+                if arr < 0.0 {
+                    let sc = col(schedule.start(s.phase) + off, cycle, total);
+                    let (lo, hi) = (ac.min(sc), sc.max(ac));
+                    for cell in row.iter_mut().take(hi).skip(lo) {
+                        if *cell == ' ' {
+                            *cell = '·';
+                        }
+                    }
+                }
+                row[ac] = 'a';
+            }
+            row[dc] = 'D';
+        }
+        let _ = writeln!(
+            out,
+            "{:>3} {}  D={:.4} a={}",
+            format!("{id}"),
+            row.iter().collect::<String>(),
+            solution.departure(id),
+            if arr.is_finite() {
+                format!("{arr:.4}")
+            } else {
+                "-∞".into()
+            }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::min_cycle_time;
+    use smo_circuit::CircuitBuilder;
+
+    fn p(n: usize) -> PhaseId {
+        PhaseId::from_number(n)
+    }
+
+    #[test]
+    fn schedule_render_shows_all_phases() {
+        let sched = ClockSchedule::symmetric(3, 90.0, 5.0).unwrap();
+        let art = render_schedule(&sched);
+        assert!(art.contains("φ1"));
+        assert!(art.contains("φ2"));
+        assert!(art.contains("φ3"));
+        assert!(art.contains('█'));
+        // two cycles → roughly 2/3 of each row inactive for k = 3
+        let active = art.matches('█').count();
+        assert!(active > 0);
+    }
+
+    #[test]
+    fn zero_cycle_schedule_renders_without_panic() {
+        let sched = ClockSchedule::new(0.0, vec![0.0], vec![0.0]).unwrap();
+        let art = render_schedule(&sched);
+        assert!(art.contains("Tc"));
+    }
+
+    #[test]
+    fn solution_render_marks_departures() {
+        let mut b = CircuitBuilder::new(2);
+        let a = b.add_latch("A", p(1), 10.0, 10.0);
+        let c2 = b.add_latch("B", p(2), 10.0, 10.0);
+        b.connect(a, c2, 20.0);
+        b.connect(c2, a, 60.0);
+        let c = b.build().unwrap();
+        let sol = min_cycle_time(&c).unwrap();
+        let art = render_solution(&c, &sol);
+        assert!(art.contains("L1"));
+        assert!(art.contains('D'));
+        assert!(art.contains("a="));
+    }
+
+    #[test]
+    #[should_panic(expected = "belong")]
+    fn mismatched_solution_panics() {
+        let mut b = CircuitBuilder::new(1);
+        b.add_latch("A", p(1), 1.0, 1.0);
+        let small = b.build().unwrap();
+        let mut b = CircuitBuilder::new(1);
+        b.add_latch("A", p(1), 1.0, 1.0);
+        b.add_latch("B", p(1), 1.0, 1.0);
+        let big = b.build().unwrap();
+        let sol = min_cycle_time(&big).unwrap();
+        let _ = render_solution(&small, &sol);
+    }
+}

@@ -1,0 +1,21 @@
+//! # smo-gen — circuit generators and the paper's example circuits
+//!
+//! Two families of circuits for tests, benches and experiments:
+//!
+//! * [`paper`] — executable versions of the four circuits the paper uses:
+//!   Example 1 (Fig. 5), a stand-in for Example 2 (Fig. 8), the GaAs MIPS
+//!   datapath model of Example 3 (Fig. 10 + Table I), and the appendix
+//!   circuit of Fig. 1;
+//! * [`random`] — seeded random pipelines, rings and multi-phase circuits
+//!   for property tests and scaling benchmarks.
+//!
+//! ```
+//! let circuit = smo_gen::paper::example1(80.0);
+//! assert_eq!(circuit.num_latches(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod random;

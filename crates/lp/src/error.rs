@@ -1,0 +1,102 @@
+//! Error type for the LP solver.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by [`Problem::solve`](crate::Problem::solve) and the
+/// parametric analysis routines.
+///
+/// Note that an *infeasible* or *unbounded* model is **not** an error: those
+/// are normal outcomes reported through [`Status`](crate::Status). `LpError`
+/// covers misuse of the API and numerical breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The model has no objective (call `minimize`/`maximize` first).
+    MissingObjective,
+    /// The model has no variables.
+    EmptyModel,
+    /// A variable's lower bound exceeds its upper bound.
+    InvalidBounds {
+        /// Name of the offending variable.
+        var: String,
+        /// Declared lower bound.
+        lower: f64,
+        /// Declared upper bound.
+        upper: f64,
+    },
+    /// A coefficient, bound or right-hand side is NaN or infinite where a
+    /// finite value is required.
+    NonFiniteInput {
+        /// Human-readable location of the bad value.
+        context: String,
+    },
+    /// The simplex iteration limit was exceeded (indicates severe degeneracy
+    /// or a solver defect; should not occur in practice thanks to Bland's
+    /// rule).
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// An optimal solution was requested from a solution that is not optimal.
+    NotOptimal {
+        /// The actual termination status.
+        status: crate::Status,
+    },
+    /// Numerical breakdown inside the solver (e.g. a singular basis during
+    /// refactorization). Should not occur; please report.
+    Numerical {
+        /// Where the breakdown happened.
+        context: String,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::MissingObjective => write!(f, "model has no objective"),
+            LpError::EmptyModel => write!(f, "model has no variables"),
+            LpError::InvalidBounds { var, lower, upper } => write!(
+                f,
+                "variable `{var}` has lower bound {lower} greater than upper bound {upper}"
+            ),
+            LpError::NonFiniteInput { context } => {
+                write!(f, "non-finite value in {context}")
+            }
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} exceeded")
+            }
+            LpError::NotOptimal { status } => {
+                write!(f, "solution is not optimal (status: {status})")
+            }
+            LpError::Numerical { context } => {
+                write!(f, "numerical breakdown in {context}")
+            }
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LpError::InvalidBounds {
+            var: "x".into(),
+            lower: 3.0,
+            upper: 1.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("x"));
+        assert!(msg.contains("3"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

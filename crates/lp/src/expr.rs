@@ -1,0 +1,371 @@
+//! Linear expressions over problem variables.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Opaque handle to a decision variable of a [`Problem`](crate::Problem).
+///
+/// Obtained from [`Problem::add_var`](crate::Problem::add_var) and friends;
+/// only meaningful for the problem that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Zero-based index of this variable in its owning problem.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression `Σ cᵢ·xᵢ + k`.
+///
+/// Built by combining [`VarId`]s with `+`, `-` and `*`:
+///
+/// ```
+/// use smo_lp::Problem;
+/// let mut p = Problem::new();
+/// let x = p.add_var("x");
+/// let y = p.add_var("y");
+/// let e = 2.0 * x - y + 3.0;
+/// assert_eq!(e.coeff(x), 2.0);
+/// assert_eq!(e.coeff(y), -1.0);
+/// assert_eq!(e.constant(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The empty expression (zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A constant expression.
+    pub fn constant_expr(k: f64) -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: k,
+        }
+    }
+
+    /// A single term `c·x`.
+    pub fn term(var: VarId, coeff: f64) -> Self {
+        let mut e = LinExpr::new();
+        e.add_term(var, coeff);
+        e
+    }
+
+    /// Adds `coeff · var` in place, merging with any existing term.
+    pub fn add_term(&mut self, var: VarId, coeff: f64) {
+        let c = self.terms.entry(var).or_insert(0.0);
+        *c += coeff;
+        if c.abs() == 0.0 {
+            self.terms.remove(&var);
+        }
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, k: f64) {
+        self.constant += k;
+    }
+
+    /// Coefficient of `var` (zero if absent).
+    pub fn coeff(&self, var: VarId) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// The additive constant `k`.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates over the `(variable, coefficient)` terms in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Number of variables with non-zero coefficient.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when the expression has no variable terms (it may still have a
+    /// non-zero constant).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression at a point given by a value-per-variable
+    /// lookup.
+    ///
+    /// `values[i]` must be the value of the variable with index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some term's variable index is out of range for `values`.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(v, c)| c * values[v.0])
+                .sum::<f64>()
+    }
+
+    /// `true` if every coefficient and the constant are finite.
+    pub fn is_finite(&self) -> bool {
+        self.constant.is_finite() && self.terms.values().all(|c| c.is_finite())
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if first {
+                if c < &0.0 {
+                    write!(f, "-")?;
+                }
+                first = false;
+            } else if c < &0.0 {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let a = c.abs();
+            if (a - 1.0).abs() > f64::EPSILON {
+                write!(f, "{a}·")?;
+            }
+            write!(f, "{v}")?;
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant != 0.0 {
+            if self.constant < 0.0 {
+                write!(f, " - {}", -self.constant)?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---- operator overloads -------------------------------------------------
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: f64) -> LinExpr {
+        self.terms.retain(|_, c| {
+            *c *= k;
+            *c != 0.0
+        });
+        self.constant *= k;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, e: LinExpr) -> LinExpr {
+        e * self
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, k: f64) -> LinExpr {
+        self.constant += k;
+        self
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, k: f64) -> LinExpr {
+        self.constant -= k;
+        self
+    }
+}
+
+impl Add<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, v: VarId) -> LinExpr {
+        self.add_term(v, 1.0);
+        self
+    }
+}
+
+impl Sub<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, v: VarId) -> LinExpr {
+        self.add_term(v, -1.0);
+        self
+    }
+}
+
+impl Add<VarId> for VarId {
+    type Output = LinExpr;
+    fn add(self, rhs: VarId) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl Sub<VarId> for VarId {
+    type Output = LinExpr;
+    fn sub(self, rhs: VarId) -> LinExpr {
+        LinExpr::from(self) - rhs
+    }
+}
+
+impl Add<f64> for VarId {
+    type Output = LinExpr;
+    fn add(self, k: f64) -> LinExpr {
+        LinExpr::from(self) + k
+    }
+}
+
+impl Sub<f64> for VarId {
+    type Output = LinExpr;
+    fn sub(self, k: f64) -> LinExpr {
+        LinExpr::from(self) - k
+    }
+}
+
+impl Mul<VarId> for f64 {
+    type Output = LinExpr;
+    fn mul(self, v: VarId) -> LinExpr {
+        LinExpr::term(v, self)
+    }
+}
+
+impl Neg for VarId {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        LinExpr::term(self, -1.0)
+    }
+}
+
+impl Add<LinExpr> for VarId {
+    type Output = LinExpr;
+    fn add(self, e: LinExpr) -> LinExpr {
+        e + self
+    }
+}
+
+impl Sub<LinExpr> for VarId {
+    type Output = LinExpr;
+    fn sub(self, e: LinExpr) -> LinExpr {
+        LinExpr::from(self) - e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn term_merging_cancels_to_zero() {
+        let e = LinExpr::term(v(0), 2.0) + LinExpr::term(v(0), -2.0);
+        assert!(e.is_empty());
+        assert_eq!(e.coeff(v(0)), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_composes() {
+        let e = 2.0 * v(0) - v(1) + 3.0;
+        assert_eq!(e.coeff(v(0)), 2.0);
+        assert_eq!(e.coeff(v(1)), -1.0);
+        assert_eq!(e.constant(), 3.0);
+        let d = e.clone() * -1.0;
+        assert_eq!(d.coeff(v(0)), -2.0);
+        assert_eq!(d.constant(), -3.0);
+        let s = e - d;
+        assert_eq!(s.coeff(v(0)), 4.0);
+        assert_eq!(s.constant(), 6.0);
+    }
+
+    #[test]
+    fn var_minus_var_builds_expr() {
+        let e = v(3) - v(5);
+        assert_eq!(e.coeff(v(3)), 1.0);
+        assert_eq!(e.coeff(v(5)), -1.0);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn eval_uses_values_by_index() {
+        let e = 2.0 * v(0) + v(2) - 1.0;
+        let vals = [1.0, 100.0, 3.0];
+        assert_eq!(e.eval(&vals), 2.0 + 3.0 - 1.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = 2.0 * v(0) - v(1) + 3.0;
+        assert_eq!(format!("{e}"), "2·x0 - x1 + 3");
+        let z = LinExpr::new();
+        assert_eq!(format!("{z}"), "0");
+        let neg_first = -v(1) + 0.5;
+        assert_eq!(format!("{neg_first}"), "-x1 + 0.5");
+    }
+
+    #[test]
+    fn finite_check_rejects_nan() {
+        let mut e = LinExpr::term(v(0), f64::NAN);
+        assert!(!e.is_finite());
+        e = LinExpr::term(v(0), 1.0) + f64::INFINITY;
+        assert!(!e.is_finite());
+        assert!((2.0 * v(1) + 1.0).is_finite());
+    }
+}

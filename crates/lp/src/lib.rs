@@ -1,0 +1,69 @@
+//! # smo-lp — a dense simplex linear-programming solver
+//!
+//! This crate is the linear-programming substrate of the SMO latch-timing
+//! reproduction. The paper's initial implementation used "a dense-matrix LP
+//! solver which implements the standard simplex algorithm" (§V); this crate is
+//! exactly that, built from scratch:
+//!
+//! * a [`Problem`] builder with named variables, bounds, and linear
+//!   constraints in `≤` / `≥` / `=` form ([`Sense`]),
+//! * a two-phase primal simplex with Dantzig pricing and Bland anti-cycling
+//!   fallback ([`Problem::solve`]),
+//! * dual values, reduced costs, and slacks on the returned [`Solution`]
+//!   (used by the timing engine for critical-segment analysis),
+//! * parametric right-hand-side analysis ([`parametric_rhs`])
+//!   implementing the paper's §VI "parametric programming" direction — it
+//!   returns the exact breakpoints of the optimal objective as a piecewise
+//!   linear function of a scalar parameter (this regenerates Fig. 7's
+//!   breakpoints without sweeping).
+//!
+//! The SMO constraint matrices contain only `0, ±1` entries (§VI), so a dense
+//! f64 tableau with modest tolerances ([`EPS`]) is numerically comfortable.
+//!
+//! ## Example
+//!
+//! ```
+//! use smo_lp::{Problem, Sense};
+//!
+//! # fn main() -> Result<(), smo_lp::LpError> {
+//! // minimize x2 subject to x1 >= 2, x1 >= x2, x1 <= 4, x2 <= 2, x2 >= 1
+//! let mut p = Problem::new();
+//! let x1 = p.add_var("x1");
+//! let x2 = p.add_var("x2");
+//! p.constrain(x1.into(), Sense::Ge, 2.0);
+//! p.constrain(x1 - x2, Sense::Ge, 0.0);
+//! p.constrain(x1.into(), Sense::Le, 4.0);
+//! p.constrain(x2.into(), Sense::Le, 2.0);
+//! p.constrain(x2.into(), Sense::Ge, 1.0);
+//! p.minimize(x2.into());
+//! let sol = p.solve()?.into_optimal()?;
+//! assert!((sol.objective() - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod export;
+mod expr;
+mod parametric;
+mod problem;
+mod revised;
+mod simplex;
+mod solution;
+
+pub use error::LpError;
+pub use export::write_lp;
+pub use expr::{LinExpr, VarId};
+pub use parametric::{parametric_objective, parametric_rhs, ParametricCurve, ParametricSegment};
+pub use problem::{ConstraintId, Objective, Problem, Sense, SimplexVariant};
+pub use solution::{OptimalSolution, Solution, Status};
+
+/// Absolute tolerance used throughout the solver for feasibility, pivot
+/// eligibility and optimality tests.
+///
+/// The SMO constraint matrices are `0, ±1` valued, so this comfortable
+/// tolerance does not mask genuine degeneracy.
+pub const EPS: f64 = 1e-9;

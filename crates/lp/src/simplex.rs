@@ -1,0 +1,828 @@
+//! Dense two-phase primal simplex with Bland anti-cycling fallback.
+//!
+//! The implementation works on a classical dense tableau. Models are brought
+//! to standard form as follows:
+//!
+//! * a variable with a finite lower bound `lo` is shifted, `x = lo + x'`,
+//!   `x' ≥ 0`;
+//! * a free variable is split, `x = x⁺ − x⁻`;
+//! * a finite upper bound becomes an extra `≤` row (in the shifted variable);
+//! * every row is normalized to a non-negative right-hand side (recording the
+//!   sign flip so dual values can be mapped back);
+//! * `≤` rows get a slack column (initially basic), `≥` rows a surplus and an
+//!   artificial column, `=` rows an artificial column.
+//!
+//! Phase 1 minimizes the sum of artificials; phase 2 the real objective.
+//! Pricing is Dantzig (most negative reduced cost) switching to Bland's rule
+//! after a fixed number of iterations, which guarantees termination.
+//!
+//! The tableau carries one extra **parametric** column alongside the RHS; it
+//! is transformed by every pivot and is used by [`crate::parametric`] to run
+//! the Gass–Saaty parametric-RHS procedure on the optimal tableau.
+
+use crate::error::LpError;
+use crate::problem::{Objective, Problem, Sense};
+use crate::solution::{Solution, Status};
+use crate::EPS;
+
+/// What a standard-form column represents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ColKind {
+    /// Part of user variable `var`: contributes `sign · col_value`.
+    Structural { var: usize, sign: f64 },
+    /// Slack of standard-form row `row` (`+1` coefficient).
+    Slack { row: usize },
+    /// Surplus of standard-form row `row` (`−1` coefficient).
+    Surplus { row: usize },
+    /// Artificial of standard-form row `row` (`+1` coefficient).
+    Artificial { row: usize },
+}
+
+/// How a user variable maps to standard-form columns.
+#[derive(Debug, Clone, Copy)]
+enum VarCols {
+    Shifted { col: usize, shift: f64 },
+    Split { pos: usize, neg: usize },
+}
+
+/// Standard-form tableau shared between the primal solver and the parametric
+/// post-processor.
+#[derive(Debug, Clone)]
+pub(crate) struct Tableau {
+    /// `m` rows of width `ncols + 2`: columns, then RHS, then parametric Δ.
+    pub(crate) tab: Vec<Vec<f64>>,
+    /// Basic column index per row.
+    pub(crate) basis: Vec<usize>,
+    pub(crate) ncols: usize,
+    pub(crate) col_kinds: Vec<ColKind>,
+    /// Phase-2 cost per column, already in *minimize* orientation.
+    pub(crate) costs: Vec<f64>,
+    /// Current reduced-cost row for the phase-2 costs (valid after solve).
+    pub(crate) z: Vec<f64>,
+    /// Optional second reduced-cost row (used by parametric objective
+    /// ranging); transformed by every pivot alongside `z`.
+    pub(crate) z2: Option<Vec<f64>>,
+    /// `+1.0` for minimize, `−1.0` for maximize.
+    pub(crate) sense_factor: f64,
+    /// Per standard-form row: was the row negated during normalization?
+    row_flip: Vec<bool>,
+    /// For standard row `r`, the column whose reduced cost yields the dual:
+    /// prefer the artificial, else the slack.
+    dual_col: Vec<usize>,
+    /// Number of leading standard rows that correspond 1:1 to user rows.
+    pub(crate) user_rows: usize,
+    var_cols: Vec<VarCols>,
+    pub(crate) iterations: usize,
+}
+
+const RHS: usize = 0; // symbolic: rhs column is at index ncols + RHS
+const PARAM: usize = 1; // parametric column is at index ncols + PARAM
+
+impl Tableau {
+    #[inline]
+    pub(crate) fn rhs(&self, r: usize) -> f64 {
+        self.tab[r][self.ncols + RHS]
+    }
+
+    #[inline]
+    pub(crate) fn param(&self, r: usize) -> f64 {
+        self.tab[r][self.ncols + PARAM]
+    }
+
+    #[inline]
+    pub(crate) fn rows(&self) -> usize {
+        self.tab.len()
+    }
+
+    /// Builds the standard-form tableau for `p`. `param` gives the per-user-row
+    /// RHS perturbation direction (defaults to all zeros).
+    pub(crate) fn build(p: &Problem, param: Option<&[f64]>) -> Result<Tableau, LpError> {
+        let (direction, obj_expr) = p.objective.as_ref().ok_or(LpError::MissingObjective)?;
+        let sense_factor = match direction {
+            Objective::Minimize => 1.0,
+            Objective::Maximize => -1.0,
+        };
+
+        // --- variable mapping -------------------------------------------
+        let mut var_cols = Vec::with_capacity(p.vars.len());
+        let mut col_kinds: Vec<ColKind> = Vec::new();
+        // rows for finite upper bounds: (expr over user var, rhs)
+        let mut bound_rows: Vec<(usize, f64)> = Vec::new();
+        for (i, v) in p.vars.iter().enumerate() {
+            if v.lower.is_finite() {
+                let col = col_kinds.len();
+                col_kinds.push(ColKind::Structural { var: i, sign: 1.0 });
+                var_cols.push(VarCols::Shifted {
+                    col,
+                    shift: v.lower,
+                });
+                if v.upper.is_finite() {
+                    bound_rows.push((i, v.upper));
+                }
+            } else {
+                let pos = col_kinds.len();
+                col_kinds.push(ColKind::Structural { var: i, sign: 1.0 });
+                let neg = col_kinds.len();
+                col_kinds.push(ColKind::Structural { var: i, sign: -1.0 });
+                var_cols.push(VarCols::Split { pos, neg });
+                if v.upper.is_finite() {
+                    bound_rows.push((i, v.upper));
+                }
+            }
+        }
+        let nstruct = col_kinds.len();
+
+        // --- assemble raw rows (dense over structural columns) ----------
+        struct RawRow {
+            coeffs: Vec<f64>,
+            sense: Sense,
+            rhs: f64,
+            param: f64,
+        }
+        let mut raw: Vec<RawRow> = Vec::with_capacity(p.rows.len() + bound_rows.len());
+        let zero_param = vec![0.0; p.rows.len()];
+        let param = param.unwrap_or(&zero_param);
+        debug_assert_eq!(param.len(), p.rows.len());
+
+        let expr_to_dense = |expr: &crate::LinExpr, var_cols: &[VarCols]| -> (Vec<f64>, f64) {
+            let mut coeffs = vec![0.0; nstruct];
+            let mut shift_sum = 0.0;
+            for (v, c) in expr.iter() {
+                match var_cols[v.index()] {
+                    VarCols::Shifted { col, shift } => {
+                        coeffs[col] += c;
+                        shift_sum += c * shift;
+                    }
+                    VarCols::Split { pos, neg } => {
+                        coeffs[pos] += c;
+                        coeffs[neg] -= c;
+                    }
+                }
+            }
+            (coeffs, shift_sum)
+        };
+
+        for (i, row) in p.rows.iter().enumerate() {
+            let (coeffs, shift_sum) = expr_to_dense(&row.expr, &var_cols);
+            raw.push(RawRow {
+                coeffs,
+                sense: row.sense,
+                rhs: row.rhs - shift_sum,
+                param: param[i],
+            });
+        }
+        for &(var, upper) in &bound_rows {
+            let mut coeffs = vec![0.0; nstruct];
+            let rhs = match var_cols[var] {
+                VarCols::Shifted { col, shift } => {
+                    coeffs[col] = 1.0;
+                    upper - shift
+                }
+                VarCols::Split { pos, neg } => {
+                    coeffs[pos] = 1.0;
+                    coeffs[neg] = -1.0;
+                    upper
+                }
+            };
+            raw.push(RawRow {
+                coeffs,
+                sense: Sense::Le,
+                rhs,
+                param: 0.0,
+            });
+        }
+
+        // --- normalize RHS >= 0, add logical columns ---------------------
+        let m = raw.len();
+        let mut row_flip = vec![false; m];
+        for (r, row) in raw.iter_mut().enumerate() {
+            if row.rhs < 0.0 {
+                row_flip[r] = true;
+                for c in &mut row.coeffs {
+                    *c = -*c;
+                }
+                row.rhs = -row.rhs;
+                row.param = -row.param;
+                row.sense = match row.sense {
+                    Sense::Le => Sense::Ge,
+                    Sense::Ge => Sense::Le,
+                    Sense::Eq => Sense::Eq,
+                };
+            }
+        }
+
+        // logical columns
+        let mut slack_col = vec![usize::MAX; m];
+        let mut surplus_col = vec![usize::MAX; m];
+        let mut art_col = vec![usize::MAX; m];
+        for (r, row) in raw.iter().enumerate() {
+            match row.sense {
+                Sense::Le => {
+                    slack_col[r] = col_kinds.len();
+                    col_kinds.push(ColKind::Slack { row: r });
+                }
+                Sense::Ge => {
+                    surplus_col[r] = col_kinds.len();
+                    col_kinds.push(ColKind::Surplus { row: r });
+                    art_col[r] = col_kinds.len();
+                    col_kinds.push(ColKind::Artificial { row: r });
+                }
+                Sense::Eq => {
+                    art_col[r] = col_kinds.len();
+                    col_kinds.push(ColKind::Artificial { row: r });
+                }
+            }
+        }
+        let ncols = col_kinds.len();
+
+        // --- dense tableau ------------------------------------------------
+        let mut tab = vec![vec![0.0; ncols + 2]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut dual_col = vec![usize::MAX; m];
+        for (r, row) in raw.iter().enumerate() {
+            tab[r][..nstruct].copy_from_slice(&row.coeffs);
+            tab[r][ncols + RHS] = row.rhs;
+            tab[r][ncols + PARAM] = row.param;
+            if slack_col[r] != usize::MAX {
+                tab[r][slack_col[r]] = 1.0;
+                basis[r] = slack_col[r];
+                dual_col[r] = slack_col[r];
+            }
+            if surplus_col[r] != usize::MAX {
+                tab[r][surplus_col[r]] = -1.0;
+            }
+            if art_col[r] != usize::MAX {
+                tab[r][art_col[r]] = 1.0;
+                basis[r] = art_col[r];
+                dual_col[r] = art_col[r];
+            }
+        }
+
+        // --- phase-2 costs (minimize orientation) -------------------------
+        let mut costs = vec![0.0; ncols];
+        {
+            let (dense, _shift_sum) = expr_to_dense(obj_expr, &var_cols);
+            for (c, v) in dense.iter().enumerate() {
+                costs[c] = sense_factor * v;
+            }
+        }
+
+        Ok(Tableau {
+            tab,
+            basis,
+            ncols,
+            col_kinds,
+            costs,
+            z: vec![0.0; ncols],
+            z2: None,
+            sense_factor,
+            row_flip,
+            dual_col,
+            user_rows: p.rows.len(),
+            var_cols,
+            iterations: 0,
+        })
+    }
+
+    /// Recomputes the reduced-cost row `z = c − c_B·B⁻¹A` for cost vector `c`.
+    pub(crate) fn reduced_costs_for(&self, costs: &[f64]) -> Vec<f64> {
+        let mut z = costs.to_vec();
+        for (r, &b) in self.basis.iter().enumerate() {
+            let cb = costs[b];
+            if cb != 0.0 {
+                let row = &self.tab[r];
+                for (j, zj) in z.iter_mut().enumerate() {
+                    *zj -= cb * row[j];
+                }
+            }
+        }
+        z
+    }
+
+    /// Performs one pivot on `(row, col)`, updating the tableau, the basis
+    /// and the reduced-cost row.
+    pub(crate) fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.ncols + 2;
+        let piv = self.tab[row][col];
+        debug_assert!(piv.abs() > EPS, "pivot on near-zero element");
+        let inv = 1.0 / piv;
+        for j in 0..width {
+            self.tab[row][j] *= inv;
+        }
+        // exact unit pivot column in the pivot row
+        self.tab[row][col] = 1.0;
+        // Split the rows around the pivot row so the elimination can stream
+        // over slices instead of double-indexing every element.
+        let (before, rest) = self.tab.split_at_mut(row);
+        let (pivot_row, after) = rest.split_first_mut().expect("row in range");
+        for r in before.iter_mut().chain(after.iter_mut()) {
+            let factor = r[col];
+            if factor != 0.0 {
+                for (dst, &src) in r.iter_mut().zip(pivot_row.iter()).take(width) {
+                    *dst -= factor * src;
+                }
+                r[col] = 0.0;
+            }
+        }
+        let zfac = self.z[col];
+        if zfac != 0.0 {
+            for j in 0..self.ncols {
+                self.z[j] -= zfac * self.tab[row][j];
+            }
+            self.z[col] = 0.0;
+        }
+        if let Some(z2) = &mut self.z2 {
+            let z2fac = z2[col];
+            if z2fac != 0.0 {
+                for (j, z2j) in z2.iter_mut().enumerate().take(self.ncols) {
+                    *z2j -= z2fac * self.tab[row][j];
+                }
+                z2[col] = 0.0;
+            }
+        }
+        self.basis[row] = col;
+        self.iterations += 1;
+    }
+
+    /// Primal simplex on the current basis for cost vector `costs`
+    /// (minimize). `allow_artificial_entering` is true only in phase 1.
+    ///
+    /// Returns `Ok(true)` on optimal, `Ok(false)` on unbounded.
+    fn primal_loop(
+        &mut self,
+        costs: &[f64],
+        allow_artificial_entering: bool,
+        limit: usize,
+    ) -> Result<bool, LpError> {
+        self.z = self.reduced_costs_for(costs);
+        let bland_after = self.iterations + 10 * (self.rows() + self.ncols);
+        loop {
+            if self.iterations > limit {
+                return Err(LpError::IterationLimit { limit });
+            }
+            let bland = self.iterations > bland_after;
+            // entering column
+            let mut enter = None;
+            let mut best = -EPS;
+            for j in 0..self.ncols {
+                if !allow_artificial_entering
+                    && matches!(self.col_kinds[j], ColKind::Artificial { .. })
+                {
+                    continue;
+                }
+                if self.z[j] < -EPS {
+                    if bland {
+                        enter = Some(j);
+                        break;
+                    }
+                    if self.z[j] < best {
+                        best = self.z[j];
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(jc) = enter else {
+                return Ok(true); // optimal
+            };
+            // ratio test
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows() {
+                let a = self.tab[r][jc];
+                if a > EPS {
+                    let ratio = self.rhs(r) / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(r) = leave else {
+                return Ok(false); // unbounded in this phase
+            };
+            self.pivot(r, jc);
+        }
+    }
+
+    /// Sum of artificial basic values (the phase-1 objective).
+    fn artificial_infeasibility(&self) -> f64 {
+        self.basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| matches!(self.col_kinds[b], ColKind::Artificial { .. }))
+            .map(|(r, _)| self.rhs(r))
+            .sum()
+    }
+
+    /// Runs phase 1 + phase 2.
+    pub(crate) fn optimize(&mut self) -> Result<Status, LpError> {
+        let limit = 50_000 + 200 * (self.rows() + self.ncols);
+
+        // Phase 1 (skip when no artificials exist).
+        let has_art = self
+            .col_kinds
+            .iter()
+            .any(|k| matches!(k, ColKind::Artificial { .. }));
+        if has_art {
+            let phase1_costs: Vec<f64> = self
+                .col_kinds
+                .iter()
+                .map(|k| {
+                    if matches!(k, ColKind::Artificial { .. }) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let optimal = self.primal_loop(&phase1_costs, true, limit)?;
+            debug_assert!(optimal, "phase-1 objective is bounded below by zero");
+            // NOTE: absolute threshold — adequate for the 0/±1-coefficient
+            // SMO matrices this crate serves; models with very large RHS
+            // magnitudes should be scaled by the caller.
+            if self.artificial_infeasibility() > 1e-7 {
+                return Ok(Status::Infeasible);
+            }
+            // Drive remaining artificials out of the basis where possible.
+            for r in 0..self.rows() {
+                if matches!(self.col_kinds[self.basis[r]], ColKind::Artificial { .. }) {
+                    if let Some(j) = (0..self.ncols).find(|&j| {
+                        !matches!(self.col_kinds[j], ColKind::Artificial { .. })
+                            && self.tab[r][j].abs() > EPS
+                    }) {
+                        self.pivot(r, j);
+                    }
+                    // else: redundant row; inert because artificials never
+                    // re-enter and all its non-artificial entries are ~0.
+                }
+            }
+        }
+
+        // Phase 2.
+        let costs = self.costs.clone();
+        let optimal = self.primal_loop(&costs, false, limit)?;
+        if optimal {
+            Ok(Status::Optimal)
+        } else {
+            Ok(Status::Unbounded)
+        }
+    }
+
+    /// Current value of each standard-form column at the basic solution.
+    fn column_values(&self) -> Vec<f64> {
+        let mut vals = vec![0.0; self.ncols];
+        for (r, &b) in self.basis.iter().enumerate() {
+            vals[b] = self.rhs(r);
+        }
+        vals
+    }
+
+    /// Maps the basic solution back to user-variable values.
+    pub(crate) fn user_values(&self) -> Vec<f64> {
+        let cols = self.column_values();
+        self.user_values_from(&cols)
+    }
+
+    /// Maps arbitrary standard-form column values back to user variables.
+    pub(crate) fn user_values_from(&self, cols: &[f64]) -> Vec<f64> {
+        self.var_cols
+            .iter()
+            .map(|vc| match *vc {
+                VarCols::Shifted { col, shift } => cols[col] + shift,
+                VarCols::Split { pos, neg } => cols[pos] - cols[neg],
+            })
+            .collect()
+    }
+
+    /// Converts a per-user-variable cost delta into a standard-column cost
+    /// vector (minimize orientation), for parametric objective ranging.
+    pub(crate) fn user_costs_to_columns(&self, delta: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.ncols];
+        for (var, vc) in self.var_cols.iter().enumerate() {
+            let d = self.sense_factor * delta[var];
+            match *vc {
+                VarCols::Shifted { col, .. } => out[col] += d,
+                VarCols::Split { pos, neg } => {
+                    out[pos] += d;
+                    out[neg] -= d;
+                }
+            }
+        }
+        out
+    }
+
+    /// Maps a standard-row dual vector `y = c_B·B⁻¹` to user-constraint
+    /// duals (undoing row normalization flips and the minimize orientation).
+    pub(crate) fn map_duals(&self, y: &[f64]) -> Vec<f64> {
+        (0..self.user_rows)
+            .map(|r| {
+                let v = if self.row_flip[r] { -y[r] } else { y[r] };
+                self.sense_factor * v
+            })
+            .collect()
+    }
+
+    /// Maps standard-column reduced costs to user-variable reduced costs.
+    pub(crate) fn map_reduced_costs(&self, z: &[f64]) -> Vec<f64> {
+        self.var_cols
+            .iter()
+            .map(|vc| {
+                let col = match *vc {
+                    VarCols::Shifted { col, .. } => col,
+                    VarCols::Split { pos, .. } => pos,
+                };
+                self.sense_factor * z[col]
+            })
+            .collect()
+    }
+
+    /// Objective value in the *user's* orientation.
+    pub(crate) fn user_objective(&self, p: &Problem) -> f64 {
+        let values = self.user_values();
+        let (_, obj) = p.objective.as_ref().expect("validated");
+        obj.eval(&values)
+    }
+
+    /// Dual value of each user constraint, in the user's orientation and
+    /// original row signs.
+    pub(crate) fn user_duals(&self) -> Vec<f64> {
+        (0..self.user_rows)
+            .map(|r| {
+                let col = self.dual_col[r];
+                let y = match self.col_kinds[col] {
+                    ColKind::Slack { .. } => -self.z[col],
+                    ColKind::Artificial { .. } => -self.z[col],
+                    ColKind::Surplus { .. } => self.z[col],
+                    ColKind::Structural { .. } => unreachable!("dual col is logical"),
+                };
+                let y = if self.row_flip[r] { -y } else { y };
+                self.sense_factor * y
+            })
+            .collect()
+    }
+
+    /// Reduced cost of each user variable (positive part for split vars), in
+    /// the user's orientation.
+    pub(crate) fn user_reduced_costs(&self) -> Vec<f64> {
+        self.var_cols
+            .iter()
+            .map(|vc| {
+                let col = match *vc {
+                    VarCols::Shifted { col, .. } => col,
+                    VarCols::Split { pos, .. } => pos,
+                };
+                self.sense_factor * self.z[col]
+            })
+            .collect()
+    }
+}
+
+/// Solves `p`, returning both the packaged [`Solution`] and (when optimal)
+/// the final tableau for parametric post-processing.
+pub(crate) fn solve_with_tableau(
+    p: &Problem,
+    param: Option<&[f64]>,
+) -> Result<(Solution, Option<Tableau>), LpError> {
+    let mut t = Tableau::build(p, param)?;
+    let status = t.optimize()?;
+    let solution = match status {
+        Status::Optimal => {
+            let values = t.user_values();
+            let slacks = p
+                .rows
+                .iter()
+                .map(|r| {
+                    let lhs = r.expr.eval(&values);
+                    match r.sense {
+                        Sense::Le | Sense::Eq => r.rhs - lhs,
+                        Sense::Ge => lhs - r.rhs,
+                    }
+                })
+                .collect();
+            Solution {
+                status,
+                objective: Some(t.user_objective(p)),
+                duals: t.user_duals(),
+                reduced_costs: t.user_reduced_costs(),
+                values,
+                slacks,
+                iterations: t.iterations,
+            }
+        }
+        _ => Solution {
+            status,
+            objective: None,
+            values: vec![],
+            duals: vec![],
+            reduced_costs: vec![],
+            slacks: vec![],
+            iterations: t.iterations,
+        },
+    };
+    let keep = solution.status == Status::Optimal;
+    Ok((solution, keep.then_some(t)))
+}
+
+/// Entry point used by [`Problem::solve`].
+pub(crate) fn solve(p: &Problem) -> Result<Solution, LpError> {
+    solve_with_tableau(p, None).map(|(s, _)| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LinExpr, Problem, Sense, Status, VarId};
+
+    fn near(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-7
+    }
+
+    #[test]
+    fn solves_textbook_max() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> z* = 36 at (2,6)
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.constrain(x.into(), Sense::Le, 4.0);
+        p.constrain(2.0 * y, Sense::Le, 12.0);
+        p.constrain(3.0 * x + 2.0 * y, Sense::Le, 18.0);
+        p.maximize(3.0 * x + 5.0 * y);
+        let s = p.solve().unwrap().into_optimal().unwrap();
+        assert!(near(s.objective(), 36.0));
+        assert!(near(s.value(x), 2.0));
+        assert!(near(s.value(y), 6.0));
+    }
+
+    #[test]
+    fn solves_min_with_ge_rows() {
+        // min 2x + 3y s.t. x + y >= 4, x >= 1 -> z* = 8 at (4, 0)? check:
+        // candidates: (4,0) z=8; (1,3) z=11 -> optimum (4,0).
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.constrain(x + y, Sense::Ge, 4.0);
+        p.constrain(x.into(), Sense::Ge, 1.0);
+        p.minimize(2.0 * x + 3.0 * y);
+        let s = p.solve().unwrap().into_optimal().unwrap();
+        assert!(near(s.objective(), 8.0));
+        assert!(near(s.value(x), 4.0));
+        assert!(near(s.value(y), 0.0));
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.constrain(x.into(), Sense::Le, 1.0);
+        p.constrain(x.into(), Sense::Ge, 2.0);
+        p.minimize(x.into());
+        assert_eq!(p.solve().unwrap().status(), Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.constrain(x.into(), Sense::Ge, 1.0);
+        p.maximize(x.into());
+        assert_eq!(p.solve().unwrap().status(), Status::Unbounded);
+    }
+
+    #[test]
+    fn equality_rows_via_artificials() {
+        // min x + y s.t. x + 2y = 6, x - y = 0  -> x = y = 2, z = 4
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.constrain(x + 2.0 * y, Sense::Eq, 6.0);
+        p.constrain(x - y, Sense::Eq, 0.0);
+        p.minimize(x + y);
+        let s = p.solve().unwrap().into_optimal().unwrap();
+        assert!(near(s.value(x), 2.0));
+        assert!(near(s.value(y), 2.0));
+        assert!(near(s.objective(), 4.0));
+    }
+
+    #[test]
+    fn free_variables_split() {
+        // min |style|: min t s.t. t >= x - 3, t >= 3 - x with x free and
+        // x = 5 forced -> t = 2.
+        let mut p = Problem::new();
+        let x = p.add_free_var("x");
+        let t = p.add_var("t");
+        p.constrain(LinExpr::from(t) - x, Sense::Ge, -3.0);
+        p.constrain(LinExpr::from(t) + x, Sense::Ge, 3.0);
+        p.constrain(x.into(), Sense::Eq, 5.0);
+        p.minimize(t.into());
+        let s = p.solve().unwrap().into_optimal().unwrap();
+        assert!(near(s.value(x), 5.0));
+        assert!(near(s.value(t), 2.0));
+    }
+
+    #[test]
+    fn negative_lower_bounds_shift() {
+        // min x s.t. x >= -5 with domain [-10, inf) -> x* = -5
+        let mut p = Problem::new();
+        let x = p.add_var_bounded("x", -10.0, f64::INFINITY);
+        p.constrain(x.into(), Sense::Ge, -5.0);
+        p.minimize(x.into());
+        let s = p.solve().unwrap().into_optimal().unwrap();
+        assert!(near(s.value(x), -5.0));
+        assert!(near(s.objective(), -5.0));
+    }
+
+    #[test]
+    fn upper_bounds_enforced() {
+        let mut p = Problem::new();
+        let x = p.add_var_bounded("x", 0.0, 3.5);
+        p.maximize(x.into());
+        let s = p.solve().unwrap().into_optimal().unwrap();
+        assert!(near(s.value(x), 3.5));
+    }
+
+    #[test]
+    fn duals_match_shadow_prices() {
+        // max 3x + 5y as in `solves_textbook_max`; known duals y* = (0, 1.5, 1)
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        let c1 = p.constrain(x.into(), Sense::Le, 4.0);
+        let c2 = p.constrain(2.0 * y, Sense::Le, 12.0);
+        let c3 = p.constrain(3.0 * x + 2.0 * y, Sense::Le, 18.0);
+        p.maximize(3.0 * x + 5.0 * y);
+        let s = p.solve().unwrap().into_optimal().unwrap();
+        assert!(near(s.dual(c1), 0.0), "dual c1 = {}", s.dual(c1));
+        assert!(near(s.dual(c2), 1.5), "dual c2 = {}", s.dual(c2));
+        assert!(near(s.dual(c3), 1.0), "dual c3 = {}", s.dual(c3));
+        // slack of c1 at (2,6) is 2
+        assert!(near(s.slack(c1), 2.0));
+        assert!(near(s.slack(c2), 0.0));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple redundant constraints through a vertex.
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.constrain(x + y, Sense::Le, 1.0);
+        p.constrain(x + y, Sense::Le, 1.0);
+        p.constrain(2.0 * x + 2.0 * y, Sense::Le, 2.0);
+        p.constrain(x - y, Sense::Le, 0.0);
+        p.maximize(x + y);
+        let s = p.solve().unwrap().into_optimal().unwrap();
+        assert!(near(s.objective(), 1.0));
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // x + y = 2 listed twice: phase 1 leaves a redundant artificial basic.
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.constrain(x + y, Sense::Eq, 2.0);
+        p.constrain(x + y, Sense::Eq, 2.0);
+        p.minimize(x.into());
+        let s = p.solve().unwrap().into_optimal().unwrap();
+        assert!(near(s.value(x), 0.0));
+        assert!(near(s.value(y), 2.0));
+    }
+
+    #[test]
+    fn smo_shaped_problem() {
+        // A miniature of the SMO LP: min Tc with a borrowing chain.
+        // Tc >= D + 5; D >= 7 - g; g <= Tc/2 encoded as 2g - Tc <= 0.
+        let mut p = Problem::new();
+        let tc = p.add_var("Tc");
+        let d = p.add_var("D");
+        let g = p.add_var("g");
+        p.constrain(LinExpr::from(tc) - d, Sense::Ge, 5.0);
+        p.constrain(LinExpr::from(d) + g, Sense::Ge, 7.0);
+        p.constrain(2.0 * g - tc, Sense::Le, 0.0);
+        p.minimize(tc.into());
+        let s = p.solve().unwrap().into_optimal().unwrap();
+        // Tc = D + 5, D = 7 - g, g = Tc/2 -> Tc = 12 - Tc/2 -> Tc = 8
+        assert!(near(s.objective(), 8.0), "Tc = {}", s.objective());
+    }
+
+    #[test]
+    fn objective_constant_is_respected() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.constrain(x.into(), Sense::Ge, 2.0);
+        p.minimize(LinExpr::from(x) + 10.0);
+        let s = p.solve().unwrap().into_optimal().unwrap();
+        assert!(near(s.objective(), 12.0));
+    }
+
+    #[test]
+    fn var_id_index_is_stable() {
+        let mut p = Problem::new();
+        let a = p.add_var("a");
+        let b = p.add_var("b");
+        assert_eq!(a, VarId(0));
+        assert_eq!(b.index(), 1);
+    }
+}

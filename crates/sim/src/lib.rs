@@ -1,0 +1,59 @@
+//! # smo-sim — behavioural simulator for latch-controlled circuits
+//!
+//! An independent executable oracle for the SMO timing model: instead of
+//! solving fixpoint equations, this crate *simulates* the circuit wave by
+//! wave under a concrete [`ClockSchedule`](smo_circuit::ClockSchedule) in
+//! absolute time, applying only local latch semantics:
+//!
+//! * a level-sensitive latch is transparent while its phase is active; data
+//!   arriving during transparency departs immediately, data arriving before
+//!   the enabling edge departs at the edge, and data must be stable a setup
+//!   time before the closing edge;
+//! * an edge-triggered flip-flop samples at the enabling edge;
+//! * a combinational edge delays data by `Δ` (long path) and not less than
+//!   `δ` (short path, used by the optional hold checking).
+//!
+//! The simulation seeds every synchronizer with "no data yet" and lets the
+//! waves develop; per-wave departures increase monotonically and, when the
+//! schedule is feasible, converge to the analytical steady state of
+//! `smo-core` — the agreement is asserted in the integration tests. When the
+//! schedule is infeasible the simulator *observes* the failure dynamically
+//! (a setup miss at a concrete absolute time, or departures drifting later
+//! every wave), which is exactly how the paper's constraints manifest in
+//! silicon.
+//!
+//! ## Example
+//!
+//! ```
+//! use smo_circuit::ClockSchedule;
+//! use smo_sim::{simulate, SimOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = smo_gen_example();
+//! let schedule = ClockSchedule::symmetric(2, 100.0, 0.0)?;
+//! let trace = simulate(&circuit, &schedule, &SimOptions::default());
+//! assert!(trace.setup_violations().is_empty());
+//! assert!(trace.converged());
+//! # Ok(())
+//! # }
+//! # fn smo_gen_example() -> smo_circuit::Circuit {
+//! #     use smo_circuit::{CircuitBuilder, PhaseId};
+//! #     let mut b = CircuitBuilder::new(2);
+//! #     let a = b.add_latch("A", PhaseId::from_number(1), 10.0, 10.0);
+//! #     let c = b.add_latch("B", PhaseId::from_number(2), 10.0, 10.0);
+//! #     b.connect(a, c, 20.0);
+//! #     b.connect(c, a, 60.0);
+//! #     b.build().unwrap()
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod montecarlo;
+mod trace;
+
+pub use engine::{simulate, SimOptions};
+pub use montecarlo::{monte_carlo, MonteCarloOptions, MonteCarloReport};
+pub use trace::{SimEvent, SimTrace, SimViolation};

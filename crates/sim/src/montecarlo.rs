@@ -1,0 +1,265 @@
+//! Monte-Carlo robustness analysis: how often does a schedule fail when
+//! combinational delays vary between their contamination and propagation
+//! bounds?
+//!
+//! Static analysis is worst-case; this module answers the complementary
+//! statistical question by running many jittered simulations (see
+//! [`SimOptions::jitter_seed`](crate::SimOptions)). A schedule that passes
+//! worst-case verification passes every Monte-Carlo run by construction —
+//! property-tested in `tests/` — so the interesting use is quantifying
+//! *how much* margin a too-aggressive schedule is missing.
+
+use crate::engine::{simulate, SimOptions};
+use smo_circuit::{Circuit, ClockSchedule};
+
+/// Options for [`monte_carlo`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloOptions {
+    /// Number of independent jittered runs.
+    pub runs: usize,
+    /// Waves per run.
+    pub waves_per_run: usize,
+    /// Base RNG seed (run `i` uses `seed + i`).
+    pub seed: u64,
+    /// Also collect hold violations.
+    pub check_hold: bool,
+    /// Worker threads (runs are independent; results are identical for any
+    /// thread count because each run is seeded by its index).
+    pub threads: usize,
+}
+
+impl Default for MonteCarloOptions {
+    fn default() -> Self {
+        MonteCarloOptions {
+            runs: 100,
+            waves_per_run: 32,
+            seed: 0,
+            check_hold: false,
+            threads: 1,
+        }
+    }
+}
+
+/// Aggregated result of a Monte-Carlo campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloReport {
+    /// Total runs performed.
+    pub runs: usize,
+    /// Runs with at least one setup violation.
+    pub failing_runs: usize,
+    /// Total setup violations across all runs and waves.
+    pub setup_violations: usize,
+    /// Total hold violations (zero unless enabled).
+    pub hold_violations: usize,
+    /// The worst (most negative) setup margin observed across all runs, as
+    /// a shortfall (`0.0` when no run violated anything).
+    pub worst_shortfall: f64,
+}
+
+impl MonteCarloReport {
+    /// Empirical failure probability.
+    pub fn failure_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.failing_runs as f64 / self.runs as f64
+        }
+    }
+}
+
+/// Runs `options.runs` jittered simulations of `circuit` under `schedule`
+/// and aggregates the violations.
+///
+/// # Panics
+///
+/// Panics if the schedule's phase count differs from the circuit's or
+/// `runs`/`waves_per_run` is zero.
+pub fn monte_carlo(
+    circuit: &Circuit,
+    schedule: &ClockSchedule,
+    options: &MonteCarloOptions,
+) -> MonteCarloReport {
+    assert!(options.runs >= 1, "need at least one run");
+    let threads = options.threads.clamp(1, options.runs);
+    let run_range = |lo: usize, hi: usize| -> MonteCarloReport {
+        let mut report = MonteCarloReport {
+            runs: hi - lo,
+            failing_runs: 0,
+            setup_violations: 0,
+            hold_violations: 0,
+            worst_shortfall: 0.0,
+        };
+        for i in lo..hi {
+            let sim_opts = SimOptions {
+                max_waves: options.waves_per_run,
+                check_hold: options.check_hold,
+                stop_on_convergence: false, // jitter never truly converges
+                jitter_seed: Some(options.seed.wrapping_add(i as u64)),
+                ..Default::default()
+            };
+            let trace = simulate(circuit, schedule, &sim_opts);
+            let setup = trace.setup_violations().len();
+            let hold = trace.hold_violations().len();
+            if setup > 0 {
+                report.failing_runs += 1;
+            }
+            report.setup_violations += setup;
+            report.hold_violations += hold;
+            for v in trace.violations() {
+                let s = match v {
+                    crate::SimViolation::Setup { shortfall, .. } => *shortfall,
+                    crate::SimViolation::Hold { shortfall, .. } => *shortfall,
+                };
+                report.worst_shortfall = report.worst_shortfall.max(s);
+            }
+        }
+        report
+    };
+
+    if threads == 1 {
+        return run_range(0, options.runs);
+    }
+    let chunk = options.runs.div_ceil(threads);
+    let partials: Vec<MonteCarloReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(options.runs);
+                let run_range = &run_range;
+                scope.spawn(move || run_range(lo, hi.max(lo)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+    let mut total = MonteCarloReport {
+        runs: options.runs,
+        failing_runs: 0,
+        setup_violations: 0,
+        hold_violations: 0,
+        worst_shortfall: 0.0,
+    };
+    for p in partials {
+        total.failing_runs += p.failing_runs;
+        total.setup_violations += p.setup_violations;
+        total.hold_violations += p.hold_violations;
+        total.worst_shortfall = total.worst_shortfall.max(p.worst_shortfall);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smo_circuit::{CircuitBuilder, PhaseId};
+
+    fn p(n: usize) -> PhaseId {
+        PhaseId::from_number(n)
+    }
+
+    /// Two-latch loop with wide delay ranges.
+    fn jittery_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new(2);
+        let a = b.add_latch("A", p(1), 2.0, 2.0);
+        let c2 = b.add_latch("B", p(2), 2.0, 2.0);
+        b.connect_min_max(a, c2, 5.0, 20.0);
+        b.connect_min_max(c2, a, 5.0, 20.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn worst_case_feasible_schedule_never_fails() {
+        let c = jittery_circuit();
+        let sol = smo_core::min_cycle_time(&c).unwrap();
+        let report = monte_carlo(&c, sol.schedule(), &MonteCarloOptions::default());
+        assert_eq!(report.failing_runs, 0, "{report:?}");
+        assert_eq!(report.failure_rate(), 0.0);
+        assert_eq!(report.worst_shortfall, 0.0);
+    }
+
+    #[test]
+    fn optimistic_corner_signoff_fails_sometimes_but_not_always() {
+        // The realistic failure mode: the schedule is signed off at an
+        // optimistic delay corner (19.8 instead of the true worst case 20),
+        // then the silicon jitters over the full [5, 20] range. Most waves
+        // sample below the corner and pass; occasional waves exceed it.
+        let real = jittery_circuit();
+        let corner = {
+            let mut b = CircuitBuilder::new(2);
+            let a = b.add_latch("A", p(1), 2.0, 2.0);
+            let c2 = b.add_latch("B", p(2), 2.0, 2.0);
+            b.connect_min_max(a, c2, 5.0, 19.8);
+            b.connect_min_max(c2, a, 5.0, 19.8);
+            b.build().unwrap()
+        };
+        let signoff = smo_core::min_cycle_time(&corner).unwrap();
+        let report = monte_carlo(
+            &real,
+            signoff.schedule(),
+            &MonteCarloOptions {
+                runs: 200,
+                ..Default::default()
+            },
+        );
+        assert!(report.failing_runs > 0, "{report:?}");
+        assert!(
+            report.failing_runs < report.runs,
+            "some lucky runs should pass: {report:?}"
+        );
+        assert!(report.worst_shortfall > 0.0);
+        let rate = report.failure_rate();
+        assert!(rate > 0.0 && rate < 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = jittery_circuit();
+        let sol = smo_core::min_cycle_time(&c).unwrap();
+        let aggressive = sol.schedule().scaled(0.85);
+        let opts = MonteCarloOptions {
+            runs: 50,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = monte_carlo(&c, &aggressive, &opts);
+        let b = monte_carlo(&c, &aggressive, &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_runs_match_sequential_exactly() {
+        let c = jittery_circuit();
+        let sol = smo_core::min_cycle_time(&c).unwrap();
+        let aggressive = sol.schedule().scaled(0.85);
+        let seq = monte_carlo(
+            &c,
+            &aggressive,
+            &MonteCarloOptions {
+                runs: 64,
+                seed: 3,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let par = monte_carlo(
+            &c,
+            &aggressive,
+            &MonteCarloOptions {
+                runs: 64,
+                seed: 3,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn hopeless_schedule_fails_every_run() {
+        let c = jittery_circuit();
+        // even with minimum delays the loop needs 5+5+4 = 14
+        let sched = ClockSchedule::symmetric(2, 10.0, 0.0).unwrap();
+        let report = monte_carlo(&c, &sched, &MonteCarloOptions::default());
+        assert_eq!(report.failing_runs, report.runs);
+        assert_eq!(report.failure_rate(), 1.0);
+    }
+}

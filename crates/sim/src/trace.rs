@@ -1,0 +1,201 @@
+//! Simulation traces: per-wave events, violations, convergence.
+
+use smo_circuit::{EdgeId, LatchId};
+use std::fmt;
+
+/// One recorded event of a simulation run (all times absolute).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// The latest input signal of a synchronizer became stable.
+    Arrival {
+        /// The receiving synchronizer.
+        latch: LatchId,
+        /// Wave (cycle) index.
+        wave: usize,
+        /// Absolute time.
+        time: f64,
+    },
+    /// A synchronizer's output started driving its fan-out.
+    Departure {
+        /// The driving synchronizer.
+        latch: LatchId,
+        /// Wave (cycle) index.
+        wave: usize,
+        /// Absolute time (already includes the element's `Δ_DQ`? No —
+        /// this is the *departure from the data input*, the paper's `D`;
+        /// the output becomes valid `Δ_DQ` later).
+        time: f64,
+    },
+}
+
+/// A dynamically observed timing failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimViolation {
+    /// Data kept changing less than a setup time before the capturing edge.
+    Setup {
+        /// The violating synchronizer.
+        latch: LatchId,
+        /// Wave index at which the miss was observed.
+        wave: usize,
+        /// How late the data was.
+        shortfall: f64,
+    },
+    /// New data raced through a short path and disturbed the previous
+    /// capture (only produced when hold checking is enabled).
+    Hold {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Wave index.
+        wave: usize,
+        /// How early the new data arrived.
+        shortfall: f64,
+    },
+}
+
+impl fmt::Display for SimViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimViolation::Setup {
+                latch,
+                wave,
+                shortfall,
+            } => write!(f, "setup miss at {latch} in wave {wave} by {shortfall:.4}"),
+            SimViolation::Hold {
+                edge,
+                wave,
+                shortfall,
+            } => write!(
+                f,
+                "hold race on edge #{} in wave {wave} by {shortfall:.4}",
+                edge.index()
+            ),
+        }
+    }
+}
+
+/// The full record of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimTrace {
+    pub(crate) cycle: f64,
+    pub(crate) waves: usize,
+    /// `departures[wave][latch]`: departure relative to the latch's own
+    /// phase start in that wave (`None` until data first reaches it).
+    pub(crate) departures: Vec<Vec<Option<f64>>>,
+    /// `arrivals[wave][latch]`, relative like departures.
+    pub(crate) arrivals: Vec<Vec<Option<f64>>>,
+    /// `early_changes[wave][latch]`: earliest instant the output starts
+    /// changing, relative to the latch's own phase start (`+∞` when the
+    /// output cannot change that wave).
+    pub(crate) early_changes: Vec<Vec<f64>>,
+    pub(crate) violations: Vec<SimViolation>,
+    pub(crate) converged_at: Option<usize>,
+}
+
+impl SimTrace {
+    /// Number of simulated waves (cycles).
+    pub fn waves(&self) -> usize {
+        self.waves
+    }
+
+    /// All dynamically observed violations, in wave order.
+    pub fn setup_violations(&self) -> Vec<&SimViolation> {
+        self.violations
+            .iter()
+            .filter(|v| matches!(v, SimViolation::Setup { .. }))
+            .collect()
+    }
+
+    /// All hold violations (empty unless hold checking was enabled).
+    pub fn hold_violations(&self) -> Vec<&SimViolation> {
+        self.violations
+            .iter()
+            .filter(|v| matches!(v, SimViolation::Hold { .. }))
+            .collect()
+    }
+
+    /// Every violation.
+    pub fn violations(&self) -> &[SimViolation] {
+        &self.violations
+    }
+
+    /// `true` when the per-wave departures stopped changing before the wave
+    /// budget ran out (steady state reached).
+    pub fn converged(&self) -> bool {
+        self.converged_at.is_some()
+    }
+
+    /// The first wave whose departures equal the previous wave's, if any.
+    pub fn converged_at(&self) -> Option<usize> {
+        self.converged_at
+    }
+
+    /// Departure of `latch` in `wave`, relative to its phase start
+    /// (`None` if no data had reached it yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wave` or `latch` is out of range.
+    pub fn departure(&self, wave: usize, latch: LatchId) -> Option<f64> {
+        self.departures[wave][latch.index()]
+    }
+
+    /// Arrival of the latest input of `latch` in `wave`, relative to its
+    /// phase start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wave` or `latch` is out of range.
+    pub fn arrival(&self, wave: usize, latch: LatchId) -> Option<f64> {
+        self.arrivals[wave][latch.index()]
+    }
+
+    /// Earliest output-change instant of `latch` in `wave`, relative to its
+    /// phase start (`+∞` when the output cannot change that wave).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wave` or `latch` is out of range.
+    pub fn early_change(&self, wave: usize, latch: LatchId) -> f64 {
+        self.early_changes[wave][latch.index()]
+    }
+
+    /// The steady-state departure vector (last simulated wave), with
+    /// latches never reached reported as `0.0` — the same convention as the
+    /// analytical least fixpoint.
+    pub fn steady_departures(&self) -> Vec<f64> {
+        self.departures
+            .last()
+            .map(|w| w.iter().map(|d| d.unwrap_or(0.0)).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display_names_element_and_wave() {
+        let v = SimViolation::Setup {
+            latch: LatchId::new(2),
+            wave: 5,
+            shortfall: 1.25,
+        };
+        let s = v.to_string();
+        assert!(s.contains("L3") && s.contains('5') && s.contains("1.25"));
+    }
+
+    #[test]
+    fn steady_departures_default_to_zero() {
+        let t = SimTrace {
+            cycle: 10.0,
+            waves: 1,
+            departures: vec![vec![Some(3.0), None]],
+            arrivals: vec![vec![Some(3.0), None]],
+            early_changes: vec![vec![0.0, f64::INFINITY]],
+            violations: vec![],
+            converged_at: Some(0),
+        };
+        assert_eq!(t.steady_departures(), vec![3.0, 0.0]);
+    }
+}

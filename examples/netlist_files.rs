@@ -1,0 +1,42 @@
+//! Working with netlist files: parse a circuit from the text format, solve
+//! it, and write the (round-trippable) netlist back out.
+//!
+//! Run with `cargo run --example netlist_files`.
+
+use smo::circuit::netlist;
+use smo::timing::min_cycle_time;
+
+const NETLIST: &str = "\
+# a two-phase accumulator loop with a bypass path
+clock 2
+latch acc_in  phase=1 setup=2 dq=3
+latch acc_out phase=2 setup=2 dq=3
+latch bypass  phase=2 setup=2 dq=3
+path acc_in  acc_out delay=25 min=4
+path acc_out acc_in  delay=12 min=2
+path acc_in  bypass  delay=8
+path bypass  acc_in  delay=5
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = netlist::parse(NETLIST)?;
+    println!("parsed: {circuit}");
+
+    let solution = min_cycle_time(&circuit)?;
+    println!("optimal Tc = {:.2}", solution.cycle_time());
+    for (id, sync) in circuit.syncs() {
+        println!(
+            "  {:8} departs {:.2} after {} opens",
+            sync.name,
+            solution.departure(id),
+            sync.phase
+        );
+    }
+
+    // Round-trip: write → parse → identical circuit.
+    let text = netlist::write(&circuit);
+    let again = netlist::parse(&text)?;
+    assert_eq!(circuit, again);
+    println!("\nround-tripped netlist:\n{text}");
+    Ok(())
+}

@@ -1,0 +1,221 @@
+//! `smo` — command-line optimal-clocking tool.
+//!
+//! The 1990 implementation was "a simple parser, a dense-matrix LP solver
+//! … and graphical output routines"; this binary is the same package around
+//! the library:
+//!
+//! ```text
+//! smo optimize <netlist>            minimum cycle time + optimal schedule
+//! smo report   <netlist>            full timing report (slacks, critical segments)
+//! smo verify   <netlist> Tc s1,w1 [s2,w2 …]   check a concrete schedule
+//! smo simulate <netlist> [waves]    behavioural simulation at the optimum
+//! smo dot      <netlist>            Graphviz export
+//! smo lp       <netlist>            CPLEX LP-format dump of problem P2
+//! ```
+//!
+//! Netlists use the `smo_circuit::netlist` text format; files containing
+//! `gate`/`wire` lines are parsed gate-level and extracted automatically.
+
+use smo::circuit::{lump_equivalent_latches, netlist, to_dot, Circuit, ClockSchedule};
+use smo::sim::{monte_carlo, simulate, MonteCarloOptions, SimOptions};
+use smo::timing::{
+    min_cycle_time, render_solution, timing_report, verify, MlpOptions, TimingModel,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  smo optimize <netlist>                         minimum cycle time + schedule
+  smo report   <netlist>                         full timing report
+  smo verify   <netlist> <Tc> <s,w> [<s,w> ...]  check a concrete schedule
+  smo simulate <netlist> [waves]                 behavioural simulation
+  smo dot      <netlist>                         Graphviz export
+  smo lp       <netlist>                         LP-format dump of problem P2
+  smo lump     <netlist>                         bus-lumped netlist (stdout)
+  smo montecarlo <netlist> <scale> [runs]        jittered-margin campaign at
+                                                 scale × the optimal schedule";
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "optimize" => {
+            let circuit = load(rest.first().ok_or("missing netlist path")?)?;
+            let sol = min_cycle_time(&circuit).map_err(|e| e.to_string())?;
+            println!("optimal cycle time: {:.6}", sol.cycle_time());
+            print!("{}", render_solution(&circuit, &sol));
+            Ok(ExitCode::SUCCESS)
+        }
+        "report" => {
+            let circuit = load(rest.first().ok_or("missing netlist path")?)?;
+            let text =
+                timing_report(&circuit, &MlpOptions::default()).map_err(|e| e.to_string())?;
+            print!("{text}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let mut it = rest.iter();
+            let circuit = load(it.next().ok_or("missing netlist path")?)?;
+            let tc: f64 = it
+                .next()
+                .ok_or("missing cycle time")?
+                .parse()
+                .map_err(|e| format!("bad cycle time: {e}"))?;
+            let mut starts = Vec::new();
+            let mut widths = Vec::new();
+            for pair in it {
+                let (s, w) = pair
+                    .split_once(',')
+                    .ok_or_else(|| format!("expected start,width but got `{pair}`"))?;
+                starts.push(s.parse::<f64>().map_err(|e| format!("bad start: {e}"))?);
+                widths.push(w.parse::<f64>().map_err(|e| format!("bad width: {e}"))?);
+            }
+            if starts.len() != circuit.num_phases() {
+                return Err(format!(
+                    "{} phase(s) given but the circuit has {}",
+                    starts.len(),
+                    circuit.num_phases()
+                ));
+            }
+            let sched = ClockSchedule::new(tc, starts, widths).map_err(|e| e.to_string())?;
+            let report = verify(&circuit, &sched);
+            if report.is_feasible() {
+                println!("FEASIBLE (worst setup slack {:.4})", report.worst_slack());
+                Ok(ExitCode::SUCCESS)
+            } else {
+                for v in report.violations() {
+                    println!("VIOLATION: {v}");
+                }
+                println!("INFEASIBLE");
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        "simulate" => {
+            let circuit = load(rest.first().ok_or("missing netlist path")?)?;
+            let waves: usize = match rest.get(1) {
+                Some(w) => w.parse().map_err(|e| format!("bad wave count: {e}"))?,
+                None => 64,
+            };
+            if waves == 0 {
+                return Err("wave count must be at least 1".into());
+            }
+            let sol = min_cycle_time(&circuit).map_err(|e| e.to_string())?;
+            let trace = simulate(
+                &circuit,
+                sol.schedule(),
+                &SimOptions {
+                    max_waves: waves,
+                    ..Default::default()
+                },
+            );
+            println!(
+                "simulated {} wave(s) at Tc = {:.4}: converged at {:?}, {} violation(s)",
+                trace.waves(),
+                sol.cycle_time(),
+                trace.converged_at(),
+                trace.violations().len()
+            );
+            for (id, s) in circuit.syncs() {
+                println!(
+                    "  {:16} D = {:8.4}  (analysis: {:8.4})",
+                    s.name,
+                    trace.steady_departures()[id.index()],
+                    sol.departure(id)
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "dot" => {
+            let circuit = load(rest.first().ok_or("missing netlist path")?)?;
+            print!("{}", to_dot(&circuit));
+            Ok(ExitCode::SUCCESS)
+        }
+        "lp" => {
+            let circuit = load(rest.first().ok_or("missing netlist path")?)?;
+            let model = TimingModel::build(&circuit).map_err(|e| e.to_string())?;
+            print!("{}", smo::lp::write_lp(model.problem()));
+            Ok(ExitCode::SUCCESS)
+        }
+        "lump" => {
+            let circuit = load(rest.first().ok_or("missing netlist path")?)?;
+            let (reduced, _) = lump_equivalent_latches(&circuit);
+            eprintln!(
+                "lumped {} → {} synchronizers, {} → {} paths",
+                circuit.num_syncs(),
+                reduced.num_syncs(),
+                circuit.num_edges(),
+                reduced.num_edges()
+            );
+            print!("{}", netlist::write(&reduced));
+            Ok(ExitCode::SUCCESS)
+        }
+        "montecarlo" => {
+            let circuit = load(rest.first().ok_or("missing netlist path")?)?;
+            let scale: f64 = rest
+                .get(1)
+                .ok_or("missing schedule scale (e.g. 0.95)")?
+                .parse()
+                .map_err(|e| format!("bad scale: {e}"))?;
+            if !scale.is_finite() || scale <= 0.0 {
+                return Err(format!("scale must be a positive finite number, got {scale}"));
+            }
+            let runs: usize = match rest.get(2) {
+                Some(r) => r.parse().map_err(|e| format!("bad run count: {e}"))?,
+                None => 200,
+            };
+            if runs == 0 {
+                return Err("run count must be at least 1".into());
+            }
+            let sol = min_cycle_time(&circuit).map_err(|e| e.to_string())?;
+            let sched = sol.schedule().scaled(scale);
+            let report = monte_carlo(
+                &circuit,
+                &sched,
+                &MonteCarloOptions {
+                    runs,
+                    threads: std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1),
+                    ..Default::default()
+                },
+            );
+            println!(
+                "Tc = {:.4} ({}× optimum): {}/{} runs failed ({:.1}%), {} setup violations, worst shortfall {:.4}",
+                sched.cycle(),
+                scale,
+                report.failing_runs,
+                report.runs,
+                report.failure_rate() * 100.0,
+                report.setup_violations,
+                report.worst_shortfall
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Loads a netlist file, auto-detecting the gate-level dialect.
+fn load(path: &str) -> Result<Circuit, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let gate_level = src.lines().any(|l| {
+        let t = l.split('#').next().unwrap_or("").trim_start();
+        t.starts_with("gate ") || t.starts_with("wire ")
+    });
+    if gate_level {
+        netlist::parse_gates(&src).map_err(|e| format!("{path}: {e}"))
+    } else {
+        netlist::parse(&src).map_err(|e| format!("{path}: {e}"))
+    }
+}

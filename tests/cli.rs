@@ -1,0 +1,152 @@
+//! End-to-end tests of the `smo` command-line tool against the shipped
+//! netlists in `circuits/`.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn smo(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_smo"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("smo binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn shipped_netlists_exist() {
+    for f in [
+        "circuits/example1.ckt",
+        "circuits/example2.ckt",
+        "circuits/gaas_mips.ckt",
+        "circuits/appendix_fig1.ckt",
+        "circuits/alu_bypass.ckt",
+    ] {
+        assert!(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join(f).exists(),
+            "{f} missing"
+        );
+    }
+}
+
+#[test]
+fn optimize_reproduces_paper_numbers() {
+    let out = smo(&["optimize", "circuits/example1.ckt"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("optimal cycle time: 110.000000"));
+
+    let out = smo(&["optimize", "circuits/gaas_mips.ckt"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("optimal cycle time: 4.4000"));
+}
+
+#[test]
+fn verify_distinguishes_feasible_from_infeasible() {
+    let ok = smo(&["verify", "circuits/example1.ckt", "110", "0,60", "60,30"]);
+    assert!(ok.status.success(), "{}", stdout(&ok));
+    assert!(stdout(&ok).contains("FEASIBLE"));
+
+    let bad = smo(&["verify", "circuits/example1.ckt", "100", "0,50", "50,50"]);
+    assert!(!bad.status.success());
+    assert!(stdout(&bad).contains("VIOLATION"));
+    assert!(stdout(&bad).contains("INFEASIBLE"));
+}
+
+#[test]
+fn report_names_the_critical_segment() {
+    let out = smo(&["report", "circuits/example2.ckt"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("optimal cycle time: 31"));
+    assert!(text.contains("critical combinational segments"));
+    assert!(text.contains("dTc/dΔ"));
+}
+
+#[test]
+fn simulate_agrees_with_analysis_column() {
+    let out = smo(&["simulate", "circuits/appendix_fig1.ckt", "32"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("0 violation(s)"), "{text}");
+}
+
+#[test]
+fn gate_level_netlists_are_autodetected() {
+    let out = smo(&["optimize", "circuits/alu_bypass.ckt"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("optimal cycle time: 8.80"));
+}
+
+#[test]
+fn dot_and_lp_dumps_are_well_formed() {
+    let dot = smo(&["dot", "circuits/example1.ckt"]);
+    assert!(dot.status.success());
+    assert!(stdout(&dot).starts_with("digraph circuit {"));
+
+    let lp = smo(&["lp", "circuits/example1.ckt"]);
+    assert!(lp.status.success());
+    let text = stdout(&lp);
+    assert!(text.starts_with("Minimize"));
+    assert!(text.contains("Subject To"));
+    assert!(text.trim_end().ends_with("End"));
+}
+
+#[test]
+fn errors_are_reported_with_usage() {
+    let out = smo(&["bogus"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"));
+    assert!(err.contains("usage:"));
+
+    let out = smo(&["optimize", "circuits/nope.ckt"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn lump_round_trips_and_preserves_optimum() {
+    let out = smo(&["lump", "circuits/example1.ckt"]);
+    assert!(out.status.success());
+    // the lumped netlist is itself a valid netlist with the same optimum
+    let lumped = stdout(&out);
+    let dir = tempdir();
+    let path = dir.join("lumped.ckt");
+    std::fs::write(&path, &lumped).expect("writable");
+    let opt = smo(&["optimize", path.to_str().expect("utf-8")]);
+    assert!(opt.status.success());
+    assert!(stdout(&opt).contains("optimal cycle time: 110.000000"));
+}
+
+#[test]
+fn montecarlo_reports_failure_rate() {
+    let out = smo(&["montecarlo", "circuits/example1.ckt", "0.97", "50"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("runs failed"), "{text}");
+    assert!(text.contains("worst shortfall"));
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("smo-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn zero_counts_and_nan_scale_are_rejected_not_panics() {
+    let out = smo(&["simulate", "circuits/example1.ckt", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least 1"));
+
+    let out = smo(&["montecarlo", "circuits/example1.ckt", "0.9", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least 1"));
+
+    let out = smo(&["montecarlo", "circuits/example1.ckt", "NaN"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("positive finite"));
+}
