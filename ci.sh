@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+#
+# Run from the repository root:
+#
+#   ./ci.sh
+#
+# Every step must pass; the script stops at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> cargo test"
+cargo test -q
+
+echo "CI OK"

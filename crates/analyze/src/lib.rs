@@ -1,0 +1,48 @@
+//! # smo-analyze — circuit lints and infeasibility diagnosis
+//!
+//! Static-analysis companion to the SMO timing engine, with two passes:
+//!
+//! * **Linting** ([`lint`]) — severity-tiered structural checks over a
+//!   [`Circuit`](smo_circuit::Circuit): dangling synchronizers, dead
+//!   phases, duplicate paths, zero-delay transparent loops (critical
+//!   races), thin flip-flop hold margins and suspicious `Δ_DQ`/setup
+//!   ratios. No LP is solved; this is a pure graph pass.
+//! * **Diagnosis** ([`diagnose`]) — when a cycle-time target makes the
+//!   timing LP infeasible, answer *why*: extract a Farkas-certified
+//!   irreducible infeasible subsystem and map every member back to the
+//!   paper's constraint names (C1–C3 clock rows, L1 setup, L2R
+//!   propagation) with the latches and phases involved.
+//!
+//! Both passes back the `smo lint` and `smo diagnose` CLI subcommands.
+//!
+//! ## Example
+//!
+//! ```
+//! use smo_circuit::{CircuitBuilder, PhaseId};
+//! use smo_analyze::{diagnose, lint, Diagnosis};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = CircuitBuilder::new(2);
+//! let l1 = b.add_latch("L1", PhaseId::from_number(1), 1.0, 2.0);
+//! let l2 = b.add_latch("L2", PhaseId::from_number(2), 1.0, 2.0);
+//! b.connect(l1, l2, 10.0);
+//! b.connect(l2, l1, 10.0);
+//! let circuit = b.build()?;
+//!
+//! assert!(lint(&circuit).is_clean());
+//! match diagnose(&circuit, Some(1.0))? {
+//!     Diagnosis::Infeasible(report) => assert!(report.certified),
+//!     Diagnosis::Feasible { .. } => unreachable!("Tc ≤ 1 is impossible here"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diagnose;
+mod lint;
+
+pub use diagnose::{diagnose, diagnose_with, Diagnosis};
+pub use lint::{lint, Finding, LintReport, Rule, Severity};

@@ -1,0 +1,399 @@
+//! Circuit lints: structural and parametric sanity checks.
+//!
+//! The timing engine answers "what is the minimum cycle time?"; the linter
+//! answers "does this circuit description even make sense?". Each rule
+//! inspects the [`Circuit`] graph — no LP is solved — and reports
+//! [`Finding`]s at three severities:
+//!
+//! * [`Severity::Error`] — the circuit is analysable but almost certainly
+//!   wrong (e.g. a zero-delay loop of transparent latches, a critical
+//!   race no schedule can fix);
+//! * [`Severity::Warn`] — suspicious structure that usually indicates a
+//!   netlist mistake (dangling synchronizers, dead phases, duplicate
+//!   paths, thin hold margins);
+//! * [`Severity::Info`] — unusual parameter ratios worth a second look.
+//!
+//! All shipped `circuits/*.ckt` lint clean; the rules are tuned to flag
+//! genuine modelling accidents, not stylistic variance.
+
+use smo_circuit::{Circuit, SyncKind};
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Unusual but possibly intentional; worth a look.
+    Info,
+    /// Usually a netlist mistake.
+    Warn,
+    /// Almost certainly wrong; the analysis results are suspect.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warn => write!(f, "warn"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The lint rules, one per structural check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// A synchronizer with no fan-in *and* no fan-out: it constrains
+    /// nothing and is probably a leftover or a typo in a `path` line.
+    UnconstrainedSync,
+    /// A clock phase that controls no synchronizer: the schedule still
+    /// allocates time to it.
+    DeadPhase,
+    /// Two `path` lines with the same endpoints: only the slower one
+    /// matters for long paths, which usually means a duplicated line.
+    DuplicateEdge,
+    /// A feedback loop of transparent latches with zero combinational
+    /// delay around it: a critical race no clock schedule can fix.
+    ZeroDelayLoop,
+    /// A flip-flop whose hold requirement exceeds the short-path delay of
+    /// a same-phase fan-in edge (same-edge race).
+    HoldMargin,
+    /// Suspicious latch parameters: zero setup, or `Δ_DQ` much larger
+    /// than setup.
+    SuspiciousRatio,
+}
+
+impl Rule {
+    /// Stable kebab-case identifier (used in reports and filters).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnconstrainedSync => "unconstrained-sync",
+            Rule::DeadPhase => "dead-phase",
+            Rule::DuplicateEdge => "duplicate-edge",
+            Rule::ZeroDelayLoop => "zero-delay-loop",
+            Rule::HoldMargin => "hold-margin",
+            Rule::SuspiciousRatio => "suspicious-ratio",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// How bad it is.
+    pub severity: Severity,
+    /// What, specifically, is wrong (names the circuit elements).
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}] {}", self.severity, self.rule, self.message)
+    }
+}
+
+/// The result of linting one circuit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    /// All findings, in rule order (errors are not sorted first; use
+    /// [`LintReport::worst`] for the headline).
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// `true` when no rule fired at any severity.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The highest severity present, if any finding exists.
+    pub fn worst(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// `true` when at least one [`Severity::Error`] finding exists.
+    pub fn has_errors(&self) -> bool {
+        self.worst() == Some(Severity::Error)
+    }
+
+    /// Number of findings at the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean: no findings");
+        }
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s), {} info",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        )
+    }
+}
+
+/// Bound on enumerated feedback cycles (cycle counts can be exponential).
+const CYCLE_LIMIT: usize = 256;
+
+/// `Δ_DQ / Δ_DC` ratio above which [`Rule::SuspiciousRatio`] fires.
+const RATIO_LIMIT: f64 = 10.0;
+
+/// Runs every lint rule over `circuit`.
+pub fn lint(circuit: &Circuit) -> LintReport {
+    let mut findings = Vec::new();
+    let mut push = |rule, severity, message| {
+        findings.push(Finding {
+            rule,
+            severity,
+            message,
+        });
+    };
+
+    // unconstrained-sync: no fan-in and no fan-out.
+    for (id, s) in circuit.syncs() {
+        if circuit.fanin(id).is_empty() && circuit.fanout(id).is_empty() {
+            push(
+                Rule::UnconstrainedSync,
+                Severity::Warn,
+                format!(
+                    "{} `{}` has no fan-in and no fan-out; it constrains nothing",
+                    s.kind, s.name
+                ),
+            );
+        }
+    }
+
+    // dead-phase: a phase controlling no synchronizer.
+    for i in 0..circuit.num_phases() {
+        let phase = smo_circuit::PhaseId::new(i);
+        if circuit.syncs_on_phase(phase).next().is_none() {
+            push(
+                Rule::DeadPhase,
+                Severity::Warn,
+                format!("phase {phase} controls no synchronizer"),
+            );
+        }
+    }
+
+    // duplicate-edge: repeated (from, to) pairs.
+    let mut seen = std::collections::HashSet::new();
+    for e in circuit.edges() {
+        if !seen.insert((e.from, e.to)) {
+            push(
+                Rule::DuplicateEdge,
+                Severity::Warn,
+                format!(
+                    "duplicate path `{}` → `{}`; only the slower delay constrains long paths",
+                    circuit.sync(e.from).name,
+                    circuit.sync(e.to).name
+                ),
+            );
+        }
+    }
+
+    // zero-delay-loop: an all-latch feedback cycle with zero total delay
+    // (combinational + Δ_DQ) — data races around it while every latch on
+    // the loop is transparent, and no clock schedule can stop it.
+    for cycle in circuit.cycles(CYCLE_LIMIT) {
+        let all_latches = cycle
+            .latches
+            .iter()
+            .all(|&l| circuit.sync(l).kind == SyncKind::Latch);
+        if all_latches && circuit.cycle_delay(&cycle) <= 0.0 {
+            // Render with latch names, not the id-based `Cycle` display.
+            let mut path: Vec<&str> = cycle
+                .latches
+                .iter()
+                .map(|&l| circuit.sync(l).name.as_str())
+                .collect();
+            if let Some(&first) = path.first() {
+                path.push(first);
+            }
+            push(
+                Rule::ZeroDelayLoop,
+                Severity::Error,
+                format!(
+                    "zero-delay loop through transparent latches ({}): critical race",
+                    path.join(" → ")
+                ),
+            );
+        }
+    }
+
+    // hold-margin: same-phase fan-in into a flip-flop with a hold
+    // requirement larger than the short-path (contamination) delay.
+    for e in circuit.edges() {
+        let dst = circuit.sync(e.to);
+        let src = circuit.sync(e.from);
+        if dst.kind == SyncKind::FlipFlop
+            && dst.hold > 0.0
+            && src.phase == dst.phase
+            && e.min_delay < dst.hold
+        {
+            push(
+                Rule::HoldMargin,
+                Severity::Warn,
+                format!(
+                    "flip-flop `{}` requires hold {} but the same-phase path from `{}` \
+                     can arrive after only {}",
+                    dst.name, dst.hold, src.name, e.min_delay
+                ),
+            );
+        }
+    }
+
+    // suspicious-ratio: zero setup, or Δ_DQ far larger than setup.
+    for (_, s) in circuit.syncs() {
+        if s.setup <= 0.0 && s.dq > 0.0 {
+            push(
+                Rule::SuspiciousRatio,
+                Severity::Info,
+                format!(
+                    "{} `{}` has zero setup time but Δ_DQ = {}; setup rows degenerate",
+                    s.kind, s.name, s.dq
+                ),
+            );
+        } else if s.setup > 0.0 && s.dq / s.setup > RATIO_LIMIT {
+            push(
+                Rule::SuspiciousRatio,
+                Severity::Info,
+                format!(
+                    "{} `{}` has Δ_DQ = {} over {}× its setup {}; check the units",
+                    s.kind, s.name, s.dq, RATIO_LIMIT, s.setup
+                ),
+            );
+        }
+    }
+
+    LintReport { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smo_circuit::{CircuitBuilder, PhaseId, Synchronizer};
+
+    fn p(n: usize) -> PhaseId {
+        PhaseId::from_number(n)
+    }
+
+    #[test]
+    fn healthy_circuit_is_clean() {
+        let mut b = CircuitBuilder::new(2);
+        let l1 = b.add_latch("L1", p(1), 1.0, 2.0);
+        let l2 = b.add_latch("L2", p(2), 1.0, 2.0);
+        b.connect(l1, l2, 5.0);
+        b.connect(l2, l1, 5.0);
+        let report = lint(&b.build().unwrap());
+        assert!(report.is_clean(), "unexpected findings: {report}");
+        assert_eq!(report.worst(), None);
+    }
+
+    #[test]
+    fn flags_unconstrained_sync_and_dead_phase() {
+        let mut b = CircuitBuilder::new(3); // phase 3 unused
+        let l1 = b.add_latch("L1", p(1), 1.0, 2.0);
+        let l2 = b.add_latch("L2", p(2), 1.0, 2.0);
+        b.add_latch("orphan", p(1), 1.0, 2.0);
+        b.connect(l1, l2, 5.0);
+        b.connect(l2, l1, 5.0);
+        let report = lint(&b.build().unwrap());
+        assert_eq!(report.count(Severity::Warn), 2);
+        let rules: Vec<Rule> = report.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&Rule::UnconstrainedSync));
+        assert!(rules.contains(&Rule::DeadPhase));
+        assert!(report.to_string().contains("orphan"));
+        assert!(report.to_string().contains("φ3"));
+    }
+
+    #[test]
+    fn flags_duplicate_edges() {
+        let mut b = CircuitBuilder::new(2);
+        let l1 = b.add_latch("L1", p(1), 1.0, 2.0);
+        let l2 = b.add_latch("L2", p(2), 1.0, 2.0);
+        b.connect(l1, l2, 5.0);
+        b.connect(l1, l2, 7.0); // duplicate
+        b.connect(l2, l1, 5.0);
+        let report = lint(&b.build().unwrap());
+        assert_eq!(report.count(Severity::Warn), 1);
+        assert_eq!(report.findings[0].rule, Rule::DuplicateEdge);
+    }
+
+    #[test]
+    fn flags_zero_delay_latch_loop_as_error() {
+        let mut b = CircuitBuilder::new(2);
+        let l1 = b.add_sync(Synchronizer::latch("L1", p(1), 0.0, 0.0));
+        let l2 = b.add_sync(Synchronizer::latch("L2", p(2), 0.0, 0.0));
+        b.connect(l1, l2, 0.0);
+        b.connect(l2, l1, 0.0);
+        let report = lint(&b.build().unwrap());
+        assert!(report.has_errors());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::ZeroDelayLoop));
+    }
+
+    #[test]
+    fn edge_triggering_breaks_the_race() {
+        // The same zero-delay loop, but through a flip-flop: no error.
+        let mut b = CircuitBuilder::new(2);
+        let l1 = b.add_sync(Synchronizer::latch("L1", p(1), 0.0, 0.0));
+        let ff = b.add_sync(Synchronizer::flip_flop("F1", p(2), 0.0, 0.0));
+        b.connect(l1, ff, 0.0);
+        b.connect(ff, l1, 0.0);
+        let report = lint(&b.build().unwrap());
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn flags_thin_hold_margin() {
+        let mut b = CircuitBuilder::new(2);
+        let a = b.add_sync(Synchronizer::flip_flop("A", p(1), 0.1, 0.2));
+        let c = b.add_sync(Synchronizer::flip_flop("C", p(1), 0.1, 0.2).with_hold(0.5));
+        b.connect_min_max(a, c, 0.1, 3.0); // short path 0.1 < hold 0.5
+        b.connect(c, a, 3.0);
+        let report = lint(&b.build().unwrap());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::HoldMargin && f.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn flags_suspicious_ratio_as_info() {
+        let mut b = CircuitBuilder::new(2);
+        let l1 = b.add_latch("L1", p(1), 0.01, 2.0); // dq = 200× setup
+        let l2 = b.add_latch("L2", p(2), 1.0, 2.0);
+        b.connect(l1, l2, 5.0);
+        b.connect(l2, l1, 5.0);
+        let report = lint(&b.build().unwrap());
+        assert_eq!(report.worst(), Some(Severity::Info));
+        assert_eq!(report.count(Severity::Info), 1);
+    }
+
+    #[test]
+    fn severity_ordering_is_info_warn_error() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+}

@@ -15,12 +15,16 @@ fn bench_algorithms(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("mlp", name), &circuit, |b, ci| {
             b.iter(|| min_cycle_time(ci).expect("solves").cycle_time())
         });
-        group.bench_with_input(BenchmarkId::new("edge_triggered", name), &circuit, |b, ci| {
-            b.iter(|| baseline::edge_triggered(ci).expect("runs").cycle_time())
-        });
-        group.bench_with_input(BenchmarkId::new("single_borrow", name), &circuit, |b, ci| {
-            b.iter(|| baseline::single_borrow(ci).expect("runs").cycle_time())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("edge_triggered", name),
+            &circuit,
+            |b, ci| b.iter(|| baseline::edge_triggered(ci).expect("runs").cycle_time()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single_borrow", name),
+            &circuit,
+            |b, ci| b.iter(|| baseline::single_borrow(ci).expect("runs").cycle_time()),
+        );
         group.bench_with_input(BenchmarkId::new("symmetric", name), &circuit, |b, ci| {
             b.iter(|| baseline::symmetric_clock(ci).expect("runs").cycle_time())
         });

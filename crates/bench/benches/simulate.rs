@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smo_core::min_cycle_time;
-use smo_sim::{simulate, SimOptions};
 use smo_gen::random::{random_circuit, GenConfig};
+use smo_sim::{simulate, SimOptions};
 
 fn bench_simulate(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate");

@@ -29,7 +29,10 @@ fn main() {
     smo_bench::header("Ablation 1 — dense tableau vs sparse revised simplex");
     println!(
         "{}",
-        smo_bench::row(&["latches", "rows", "dense (ms)", "revised (ms)", "speedup"], &[8, 6, 11, 13, 8])
+        smo_bench::row(
+            &["latches", "rows", "dense (ms)", "revised (ms)", "speedup"],
+            &[8, 6, 11, 13, 8]
+        )
     );
     for l in [32usize, 128, 256] {
         let cfg = GenConfig {
@@ -81,7 +84,11 @@ fn main() {
     )
     .expect("solves");
     let compact = min_cycle_time(&circuit).expect("solves");
-    println!("raw vertex:  Tc = {:.1}, {}", raw.cycle_time(), summary(raw.schedule()));
+    println!(
+        "raw vertex:  Tc = {:.1}, {}",
+        raw.cycle_time(),
+        summary(raw.schedule())
+    );
     println!(
         "canonical:   Tc = {:.1}, {}  (+1 LP solve: {} vs {} total simplex iterations)",
         compact.cycle_time(),
@@ -108,7 +115,10 @@ fn main() {
     let mut tcs = Vec::new();
     for (label, scope) in [
         ("paper C3 (all pairs)      ", NonoverlapScope::AllPairs),
-        ("latch destinations only   ", NonoverlapScope::LatchDestinations),
+        (
+            "latch destinations only   ",
+            NonoverlapScope::LatchDestinations,
+        ),
     ] {
         let sol = min_cycle_time_with(
             &mixed,
@@ -138,7 +148,11 @@ fn main() {
     };
     let big = random_circuit(&cfg, 5);
     let model = TimingModel::build(&big).expect("model");
-    for mode in [UpdateMode::Jacobi, UpdateMode::GaussSeidel, UpdateMode::EventDriven] {
+    for mode in [
+        UpdateMode::Jacobi,
+        UpdateMode::GaussSeidel,
+        UpdateMode::EventDriven,
+    ] {
         let mut iters = 0;
         let t = ms(|| {
             let sol =

@@ -69,7 +69,11 @@ fn main() {
             b.add_sync(s.clone());
         }
         for (i, e) in circuit.edges().iter().enumerate() {
-            let d = if i == icache.index() { probe } else { e.max_delay };
+            let d = if i == icache.index() {
+                probe
+            } else {
+                e.max_delay
+            };
             b.connect_min_max(e.from, e.to, e.min_delay.min(d), d);
         }
         let modified = b.build().expect("builds");

@@ -46,7 +46,10 @@ fn main() {
         "Tc is {:+.1}% versus the 4-ns target (paper: +10%)",
         (tc / GAAS_TARGET_CYCLE_NS - 1.0) * 100.0
     );
-    println!("constraints: {} (paper's formulation: 91)", sol.num_constraints());
+    println!(
+        "constraints: {} (paper's formulation: 91)",
+        sol.num_constraints()
+    );
     println!(
         "lp iterations: {}, update sweeps: {}",
         sol.lp_iterations(),

@@ -15,12 +15,7 @@ fn main() {
 
     println!("K matrix (compare appendix):");
     print!("{}", circuit.k_matrix());
-    let expected = [
-        [0, 0, 1, 1],
-        [1, 0, 1, 1],
-        [1, 1, 0, 0],
-        [0, 1, 1, 0],
-    ];
+    let expected = [[0, 0, 1, 1], [1, 0, 1, 1], [1, 1, 0, 0], [0, 1, 1, 0]];
     let k = circuit.k_matrix();
     for (i, row) in expected.iter().enumerate() {
         for (j, &v) in row.iter().enumerate() {
@@ -48,7 +43,11 @@ fn main() {
         ConstraintKind::Setup,
         ConstraintKind::Propagation,
     ] {
-        let n = model.constraints().iter().filter(|c| c.kind == kind).count();
+        let n = model
+            .constraints()
+            .iter()
+            .filter(|c| c.kind == kind)
+            .count();
         println!("  {kind}: {n}");
     }
     println!("  total: {}", model.num_constraints());

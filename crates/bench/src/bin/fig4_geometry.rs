@@ -35,10 +35,18 @@ fn slide_to_p1(x1: f64, x2: f64) -> (f64, f64) {
 fn main() {
     smo_bench::header("Fig. 4 — geometric interpretation of Theorem 1");
 
-    for (name, obj) in [("x2", (0.0, 1.0)), ("x1", (1.0, 0.0)), ("x1 + x2", (1.0, 1.0))] {
+    for (name, obj) in [
+        ("x2", (0.0, 1.0)),
+        ("x1", (1.0, 0.0)),
+        ("x1 + x2", (1.0, 1.0)),
+    ] {
         let (mut p, x1, x2) = base_problem();
         p.minimize(obj.0 * x1 + obj.1 * smo_lp::LinExpr::from(x2));
-        let sol = p.solve().expect("toy LP solves").into_optimal().expect("optimal");
+        let sol = p
+            .solve()
+            .expect("toy LP solves")
+            .into_optimal()
+            .expect("optimal");
         let (v1, v2) = (sol.value(x1), sol.value(x2));
         let (s1, s2) = slide_to_p1(v1, v2);
         let z_p2 = sol.objective();

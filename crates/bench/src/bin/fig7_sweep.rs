@@ -22,7 +22,14 @@ fn main() {
     println!(
         "{}",
         smo_bench::row(
-            &["Δ41", "MLP (opt)", "closed form", "edge-trig", "1-borrow", "symmetric"],
+            &[
+                "Δ41",
+                "MLP (opt)",
+                "closed form",
+                "edge-trig",
+                "1-borrow",
+                "symmetric"
+            ],
             &[6, 10, 12, 10, 10, 10],
         )
     );
@@ -35,7 +42,9 @@ fn main() {
         assert!((opt - cf).abs() < 1e-6, "closed form mismatch at {d41}");
         let et = baseline::edge_triggered(&circuit).expect("et").cycle_time();
         let sb = baseline::single_borrow(&circuit).expect("sb").cycle_time();
-        let sym = baseline::symmetric_clock(&circuit).expect("sym").cycle_time();
+        let sym = baseline::symmetric_clock(&circuit)
+            .expect("sym")
+            .cycle_time();
         println!(
             "{}",
             smo_bench::row(
@@ -103,7 +112,11 @@ fn main() {
     // Update-mode agreement along the sweep (the §IV ablation).
     let circuit = example1(90.0);
     let model = TimingModel::build(&circuit).expect("model");
-    for mode in [UpdateMode::Jacobi, UpdateMode::GaussSeidel, UpdateMode::EventDriven] {
+    for mode in [
+        UpdateMode::Jacobi,
+        UpdateMode::GaussSeidel,
+        UpdateMode::EventDriven,
+    ] {
         let sol = solve_model(&circuit, &model, mode).expect("solves");
         println!(
             "  {mode:?}: Tc = {:.2}, {} update iterations",

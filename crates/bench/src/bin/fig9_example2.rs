@@ -30,14 +30,21 @@ fn main() {
     );
     println!(
         "{}",
-        smo_bench::row(&["MLP (this paper)", &format!("{opt:.2}"), "—"], &[36, 10, 10])
+        smo_bench::row(
+            &["MLP (this paper)", &format!("{opt:.2}"), "—"],
+            &[36, 10, 10]
+        )
     );
     for b in baseline::all_baselines(&circuit).expect("baselines run") {
         let gap = (b.cycle_time() / opt - 1.0) * 100.0;
         println!(
             "{}",
             smo_bench::row(
-                &[b.name, &format!("{:.2}", b.cycle_time()), &format!("+{gap:.1}%")],
+                &[
+                    b.name,
+                    &format!("{:.2}", b.cycle_time()),
+                    &format!("+{gap:.1}%")
+                ],
                 &[36, 10, 10],
             )
         );

@@ -8,7 +8,10 @@ use smo_gen::paper::{GAAS_BLOCKS, GAAS_TOTAL_TRANSISTORS};
 
 fn main() {
     smo_bench::header("Table I — transistor count for major blocks of the GaAs MIPS datapath");
-    println!("{}", smo_bench::row(&["Block Name", "No. of Transistors"], &[32, 20]));
+    println!(
+        "{}",
+        smo_bench::row(&["Block Name", "No. of Transistors"], &[32, 20])
+    );
     println!("{}", "-".repeat(56));
     let mut sum = 0u32;
     for b in GAAS_BLOCKS {

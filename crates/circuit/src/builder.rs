@@ -169,20 +169,14 @@ impl CircuitBuilder {
                 return Err(CircuitError::InvalidEdgeDelay {
                     from: name(e.from),
                     to: name(e.to),
-                    reason: format!(
-                        "max delay {} must be finite and non-negative",
-                        e.max_delay
-                    ),
+                    reason: format!("max delay {} must be finite and non-negative", e.max_delay),
                 });
             }
             if !e.min_delay.is_finite() || e.min_delay < 0.0 {
                 return Err(CircuitError::InvalidEdgeDelay {
                     from: name(e.from),
                     to: name(e.to),
-                    reason: format!(
-                        "min delay {} must be finite and non-negative",
-                        e.min_delay
-                    ),
+                    reason: format!("min delay {} must be finite and non-negative", e.min_delay),
                 });
             }
             if e.min_delay > e.max_delay {

@@ -106,7 +106,10 @@ impl ClockSchedule {
     pub fn symmetric(k: usize, cycle: f64, gap: f64) -> Result<Self, CircuitError> {
         if gap.is_nan() || gap < 0.0 || gap >= cycle / k as f64 {
             return Err(CircuitError::InvalidSchedule {
-                reason: format!("symmetric gap {gap} must lie in [0, Tc/k = {})", cycle / k as f64),
+                reason: format!(
+                    "symmetric gap {gap} must lie in [0, Tc/k = {})",
+                    cycle / k as f64
+                ),
             });
         }
         let starts = (0..k).map(|i| i as f64 * cycle / k as f64).collect();
@@ -217,7 +220,10 @@ impl ClockSchedule {
             return bad("schedule has no phases".into());
         }
         if !self.cycle.is_finite() || self.cycle < 0.0 {
-            return bad(format!("cycle time {} is not finite and non-negative", self.cycle));
+            return bad(format!(
+                "cycle time {} is not finite and non-negative",
+                self.cycle
+            ));
         }
         for (i, (&s, &w)) in self.starts.iter().zip(&self.widths).enumerate() {
             let p = PhaseId::new(i);
@@ -228,10 +234,16 @@ impl ClockSchedule {
                 return bad(format!("width of {p} is {w}"));
             }
             if s > self.cycle + 1e-9 {
-                return bad(format!("start of {p} ({s}) exceeds the cycle time {}", self.cycle));
+                return bad(format!(
+                    "start of {p} ({s}) exceeds the cycle time {}",
+                    self.cycle
+                ));
             }
             if w > self.cycle + 1e-9 {
-                return bad(format!("width of {p} ({w}) exceeds the cycle time {}", self.cycle));
+                return bad(format!(
+                    "width of {p} ({w}) exceeds the cycle time {}",
+                    self.cycle
+                ));
             }
         }
         for i in 1..self.starts.len() {
@@ -349,8 +361,7 @@ mod tests {
     #[test]
     fn overlap_detects_containment_and_wrap() {
         // φ3 completely inside φ1 (the GaAs example's precharge overlap).
-        let sched =
-            ClockSchedule::new(10.0, vec![0.0, 3.0, 5.0], vec![9.0, 1.0, 2.0]).unwrap();
+        let sched = ClockSchedule::new(10.0, vec![0.0, 3.0, 5.0], vec![9.0, 1.0, 2.0]).unwrap();
         assert!(sched.overlaps(p(1), p(3)));
         assert!(!sched.overlaps(p(2), p(3)));
         // wrap-around: a phase ending past Tc overlaps the next cycle's φ1.

@@ -163,9 +163,7 @@ impl GateNetlistBuilder {
                     return Err(CircuitError::InvalidEdgeDelay {
                         from: name.clone(),
                         to: name.clone(),
-                        reason: format!(
-                            "gate delay range [{min_delay}, {max_delay}] is invalid"
-                        ),
+                        reason: format!("gate delay range [{min_delay}, {max_delay}] is invalid"),
                     });
                 }
             }

@@ -133,9 +133,6 @@ mod tests {
             k.set(i, j, true);
         }
         let s = k.to_string();
-        assert_eq!(
-            s,
-            "[ 0 0 1 1 ]\n[ 1 0 1 1 ]\n[ 1 1 0 0 ]\n[ 0 1 1 0 ]\n"
-        );
+        assert_eq!(s, "[ 0 0 1 1 ]\n[ 1 0 1 1 ]\n[ 1 1 0 0 ]\n[ 0 1 1 0 ]\n");
     }
 }

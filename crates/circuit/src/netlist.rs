@@ -75,6 +75,9 @@ pub fn parse(src: &str) -> Result<Circuit, CircuitError> {
                 if k == 0 {
                     return Err(err("clock must have at least one phase".into()));
                 }
+                if let Some(extra) = tokens.next() {
+                    return Err(err(format!("unexpected token `{extra}` after `clock {k}`")));
+                }
                 builder = Some(CircuitBuilder::new(k));
             }
             "latch" | "ff" => {
@@ -100,7 +103,9 @@ pub fn parse(src: &str) -> Result<Circuit, CircuitError> {
                     }
                 }
                 if phase.fract() != 0.0 || phase < 1.0 {
-                    return Err(err(format!("phase must be a positive integer, got {phase}")));
+                    return Err(err(format!(
+                        "phase must be a positive integer, got {phase}"
+                    )));
                 }
                 let phase = PhaseId::from_number(phase as usize);
                 let sync = match keyword {
@@ -245,6 +250,9 @@ pub fn parse_gates(src: &str) -> Result<Circuit, CircuitError> {
                 if k == 0 {
                     return Err(err("clock must have at least one phase".into()));
                 }
+                if let Some(extra) = tokens.next() {
+                    return Err(err(format!("unexpected token `{extra}` after `clock {k}`")));
+                }
                 builder = Some(GateNetlistBuilder::new(k));
             }
             "latch" | "ff" => {
@@ -256,8 +264,12 @@ pub fn parse_gates(src: &str) -> Result<Circuit, CircuitError> {
                     .ok_or_else(|| err(format!("`{keyword}` needs a name")))?
                     .to_string();
                 let kv = parse_kv(tokens, lineno)?;
-                let phase = *kv.get("phase").ok_or_else(|| err("missing phase=".into()))?;
-                let setup = *kv.get("setup").ok_or_else(|| err("missing setup=".into()))?;
+                let phase = *kv
+                    .get("phase")
+                    .ok_or_else(|| err("missing phase=".into()))?;
+                let setup = *kv
+                    .get("setup")
+                    .ok_or_else(|| err("missing setup=".into()))?;
                 let dq = *kv.get("dq").ok_or_else(|| err("missing dq=".into()))?;
                 let hold = kv.get("hold").copied().unwrap_or(0.0);
                 for key in kv.keys() {
@@ -266,7 +278,9 @@ pub fn parse_gates(src: &str) -> Result<Circuit, CircuitError> {
                     }
                 }
                 if phase.fract() != 0.0 || phase < 1.0 {
-                    return Err(err(format!("phase must be a positive integer, got {phase}")));
+                    return Err(err(format!(
+                        "phase must be a positive integer, got {phase}"
+                    )));
                 }
                 let phase = PhaseId::from_number(phase as usize);
                 let sync = match keyword {
@@ -315,6 +329,11 @@ pub fn parse_gates(src: &str) -> Result<Circuit, CircuitError> {
                 let t = *ids
                     .get(to)
                     .ok_or_else(|| err(format!("unknown element `{to}`")))?;
+                if let Some(extra) = tokens.next() {
+                    return Err(err(format!(
+                        "unexpected token `{extra}` after `wire {from} {to}`"
+                    )));
+                }
                 b.wire(f, t)?;
             }
             other => {
@@ -411,9 +430,8 @@ path L4 L1 delay=80
     #[test]
     fn round_trips_holds_and_min_delays() {
         let mut b = CircuitBuilder::new(2);
-        let a = b.add_sync(
-            Synchronizer::latch("A", PhaseId::from_number(1), 1.0, 2.0).with_hold(0.5),
-        );
+        let a =
+            b.add_sync(Synchronizer::latch("A", PhaseId::from_number(1), 1.0, 2.0).with_hold(0.5));
         let f = b.add_flip_flop("F", PhaseId::from_number(2), 0.25, 0.5);
         b.connect_min_max(a, f, 1.5, 4.0);
         let c = b.build().unwrap();
@@ -479,6 +497,32 @@ path L4 L1 delay=80
     fn fractional_phase_rejected() {
         let src = "clock 2\nlatch A phase=1.5 setup=1 dq=2\n";
         assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_after_clock() {
+        for parser in [parse, parse_gates] {
+            let src = "clock 2 extra\nlatch A phase=1 setup=1 dq=2\n";
+            match parser(src).unwrap_err() {
+                CircuitError::ParseNetlist { line, message } => {
+                    assert_eq!(line, 1);
+                    assert!(message.contains("extra"), "message: {message}");
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_after_wire() {
+        let src = "clock 1\nlatch A phase=1 setup=1 dq=2\ngate g max=1\nwire A g oops\n";
+        match parse_gates(src).unwrap_err() {
+            CircuitError::ParseNetlist { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("oops"), "message: {message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     const GATE_EXAMPLE: &str = "\

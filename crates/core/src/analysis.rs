@@ -88,7 +88,11 @@ impl fmt::Display for Violation {
                 write!(f, "setup violated at {latch} by {shortfall:.4}")
             }
             Violation::Hold { edge, shortfall } => {
-                write!(f, "hold violated on edge #{} by {shortfall:.4}", edge.index())
+                write!(
+                    f,
+                    "hold violated on edge #{} by {shortfall:.4}",
+                    edge.index()
+                )
             }
         }
     }
@@ -222,9 +226,10 @@ pub fn verify_with(
                 lhs,
                 rhs
             );
-            if !violations.iter().any(
-                |v| matches!(v, Violation::Clock { reason: r } if r == &reason),
-            ) {
+            if !violations
+                .iter()
+                .any(|v| matches!(v, Violation::Clock { reason: r } if r == &reason))
+            {
                 violations.push(Violation::Clock { reason });
             }
         }
@@ -254,10 +259,7 @@ pub fn verify_with(
     for (id, s) in circuit.syncs() {
         let slack = match s.kind {
             SyncKind::Latch => {
-                schedule.width(s.phase)
-                    - s.setup
-                    - options.setup_margin
-                    - departures[id.index()]
+                schedule.width(s.phase) - s.setup - options.setup_margin - departures[id.index()]
             }
             SyncKind::FlipFlop => {
                 let a = arrivals[id.index()];
@@ -389,7 +391,11 @@ mod tests {
         let c = example1(60.0);
         let sched = ClockSchedule::symmetric(2, 100.0, 0.0).unwrap();
         let report = verify(&c, &sched);
-        assert!(report.is_feasible(), "violations: {:?}", report.violations());
+        assert!(
+            report.is_feasible(),
+            "violations: {:?}",
+            report.violations()
+        );
         // L1 departs at 40 with T1 = 50 and setup 10 → slack 0 (critical)
         assert!(report.worst_slack().abs() < 1e-9);
     }
@@ -550,11 +556,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        for (cm, em) in conservative
-            .hold_margins()
-            .iter()
-            .zip(early.hold_margins())
-        {
+        for (cm, em) in conservative.hold_margins().iter().zip(early.hold_margins()) {
             let (cm, em) = (cm.expect("checked"), em.expect("checked"));
             assert!(em >= cm - 1e-9, "early {em} vs conservative {cm}");
         }
@@ -612,7 +614,11 @@ mod tests {
         let shape = ClockSchedule::symmetric(2, 1.0, 0.0).unwrap();
         let sched = min_cycle_for_shape(&c, &shape, 1000.0, 1e-7).unwrap();
         // symmetric optimum at the balanced point equals the true optimum 100
-        assert!((sched.cycle() - 100.0).abs() < 1e-3, "Tc = {}", sched.cycle());
+        assert!(
+            (sched.cycle() - 100.0).abs() < 1e-3,
+            "Tc = {}",
+            sched.cycle()
+        );
         // and an impossible budget returns None
         assert!(min_cycle_for_shape(&c, &shape, 10.0, 1e-7).is_none());
     }

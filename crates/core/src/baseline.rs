@@ -24,7 +24,7 @@
 //! times are upper bounds on the MLP optimum.
 
 use crate::error::TimingError;
-use crate::mlp::{min_cycle_time_with, MlpOptions, UpdateMode};
+use crate::mlp::{min_cycle_time_with, MlpOptions};
 use crate::model::{ConstraintKind, ConstraintOptions, DeparturePinning, TimingModel};
 use crate::solution::TimingSolution;
 use smo_circuit::{Circuit, SyncKind};

@@ -111,9 +111,10 @@ pub fn critical_report(
                 }
             }
             ConstraintKind::Setup
-                if sol.dual(info.row).abs() > TOL && sol.slack(info.row).abs() < TOL => {
-                    setup_critical.push(info.latch.expect("setup rows carry a latch id"));
-                }
+                if sol.dual(info.row).abs() > TOL && sol.slack(info.row).abs() < TOL =>
+            {
+                setup_critical.push(info.latch.expect("setup rows carry a latch id"));
+            }
             _ => {}
         }
     }
@@ -139,10 +140,7 @@ fn chain_segments(circuit: &Circuit, critical: &[CriticalEdge]) -> Vec<CriticalS
     // successor map: edge -> a critical edge starting where it ends
     let mut by_source: HashMap<LatchId, Vec<EdgeId>> = HashMap::new();
     for &e in &set {
-        by_source
-            .entry(circuit.edge(e).from)
-            .or_default()
-            .push(e);
+        by_source.entry(circuit.edge(e).from).or_default().push(e);
     }
     // heads: critical edges whose source latch has no incoming critical edge
     let targets: HashSet<LatchId> = set.iter().map(|&e| circuit.edge(e).to).collect();

@@ -18,6 +18,10 @@
 //!   (NRIP-like) and single-borrow heuristics for the paper's comparisons.
 //! * **Critical segments** ([`critical_report`]) — binding-constraint/dual
 //!   analysis of which combinational delays set the cycle time (§V).
+//! * **Infeasibility diagnosis** ([`diagnose_infeasibility`]) — when extras
+//!   (a capped cycle time, minimum widths, …) over-constrain the model, a
+//!   Farkas-certified irreducible infeasible subsystem names the exact
+//!   C1–C3 / L1 / L2R constraints in conflict.
 //! * **Timing diagrams** ([`render_schedule`], [`render_solution`]) — ASCII
 //!   renderings in the style of Figs. 6 and 11.
 //!
@@ -58,6 +62,7 @@
 mod analysis;
 pub mod baseline;
 mod critical;
+mod diagnose;
 mod diagram;
 mod error;
 mod mlp;
@@ -71,6 +76,7 @@ pub use analysis::{
     min_cycle_for_shape, verify, verify_with, AnalysisOptions, AnalysisReport, Violation,
 };
 pub use critical::{critical_report, CriticalEdge, CriticalReport, CriticalSegment};
+pub use diagnose::{diagnose_infeasibility, DiagnosedConstraint, InfeasibilityReport};
 pub use diagram::{render_schedule, render_solution};
 pub use error::TimingError;
 pub use mlp::{

@@ -164,9 +164,7 @@ pub fn solve_model_canonical_with(
         // Fixing Tc at the float optimum can, in principle, be defeated by
         // round-off; fall back to the (correct, just non-canonical) first
         // solution rather than fail.
-        Err(TimingError::Infeasible { .. }) => {
-            solve_model_with(circuit, model, update, variant)
-        }
+        Err(TimingError::Infeasible { .. }) => solve_model_with(circuit, model, update, variant),
         Err(e) => Err(e),
     }
 }
@@ -254,7 +252,9 @@ mod tests {
 
     #[test]
     fn matches_paper_figure7_closed_form() {
-        for d41 in [0.0, 10.0, 20.0, 40.0, 60.0, 80.0, 99.0, 100.0, 101.0, 120.0, 140.0] {
+        for d41 in [
+            0.0, 10.0, 20.0, 40.0, 60.0, 80.0, 99.0, 100.0, 101.0, 120.0, 140.0,
+        ] {
             let sol = min_cycle_time(&example1(d41)).unwrap();
             let expect = example1_expected(d41);
             assert!(
@@ -348,7 +348,11 @@ mod tests {
         b.connect(f2, f1, 4.0);
         let c = b.build().unwrap();
         let sol = min_cycle_time(&c).unwrap();
-        assert!((sol.cycle_time() - 13.0).abs() < 1e-6, "Tc = {}", sol.cycle_time());
+        assert!(
+            (sol.cycle_time() - 13.0).abs() < 1e-6,
+            "Tc = {}",
+            sol.cycle_time()
+        );
         assert_eq!(sol.departures(), &[0.0, 0.0]);
     }
 
@@ -364,7 +368,11 @@ mod tests {
         let sol = min_cycle_time(&c).unwrap();
         // loop: dq_F + 10 (+ wait) + dq_L + 10 + setup_F ≤ Tc, achievable
         // with zero wait → Tc = 2+10+2+10+1 = 25
-        assert!((sol.cycle_time() - 25.0).abs() < 1e-6, "Tc = {}", sol.cycle_time());
+        assert!(
+            (sol.cycle_time() - 25.0).abs() < 1e-6,
+            "Tc = {}",
+            sol.cycle_time()
+        );
     }
 
     #[test]

@@ -127,7 +127,10 @@ impl ConstraintOptions {
                 return bad(what, v);
             }
         }
-        for (what, v) in [("fixed_cycle", self.fixed_cycle), ("max_cycle", self.max_cycle)] {
+        for (what, v) in [
+            ("fixed_cycle", self.fixed_cycle),
+            ("max_cycle", self.max_cycle),
+        ] {
             if let Some(v) = v {
                 if !v.is_finite() || v < 0.0 {
                     return bad(what, v);
@@ -291,10 +294,7 @@ impl TimingModel {
     /// # Errors
     ///
     /// Returns [`TimingError::Infeasible`] for invalid option values.
-    pub fn build_with(
-        circuit: &Circuit,
-        options: &ConstraintOptions,
-    ) -> Result<Self, TimingError> {
+    pub fn build_with(circuit: &Circuit, options: &ConstraintOptions) -> Result<Self, TimingError> {
         options.validate()?;
         let k = circuit.num_phases();
         let l = circuit.num_syncs();
@@ -304,9 +304,7 @@ impl TimingModel {
         let tc = p.add_var("Tc");
         let widths: Vec<VarId> = (0..k).map(|i| p.add_var(format!("T{}", i + 1))).collect();
         let starts: Vec<VarId> = (0..k).map(|i| p.add_var(format!("s{}", i + 1))).collect();
-        let departures: Vec<VarId> = (0..l)
-            .map(|i| p.add_var(format!("D{}", i + 1)))
-            .collect();
+        let departures: Vec<VarId> = (0..l).map(|i| p.add_var(format!("D{}", i + 1))).collect();
         let vars = VarMap {
             tc,
             widths,
@@ -315,14 +313,14 @@ impl TimingModel {
         };
         let mut infos = Vec::new();
         let push = |p: &mut Problem,
-                        infos: &mut Vec<ConstraintInfo>,
-                        kind: ConstraintKind,
-                        latch: Option<LatchId>,
-                        edge: Option<EdgeId>,
-                        phases: Vec<PhaseId>,
-                        expr: LinExpr,
-                        sense: Sense,
-                        rhs: f64| {
+                    infos: &mut Vec<ConstraintInfo>,
+                    kind: ConstraintKind,
+                    latch: Option<LatchId>,
+                    edge: Option<EdgeId>,
+                    phases: Vec<PhaseId>,
+                    expr: LinExpr,
+                    sense: Sense,
+                    rhs: f64| {
             let row = p.constrain_named(Some(kind.to_string()), expr, sense, rhs);
             infos.push(ConstraintInfo {
                 kind,
@@ -654,7 +652,8 @@ impl TimingModel {
             Sense::Le => -1.0,
             Sense::Eq => unreachable!("edge rows are inequalities"),
         };
-        self.problem.set_rhs(row, rhs + sign * (new_delay - old_delay));
+        self.problem
+            .set_rhs(row, rhs + sign * (new_delay - old_delay));
     }
 
     /// Solves the LP and returns the raw optimal solution.
@@ -901,7 +900,11 @@ mod tests {
             .all(|i| i.kind != ConstraintKind::Propagation));
         // single-phase FF pipeline: Tc ≥ dq + Δ + setup = 13
         let sol = m.solve_lp().unwrap();
-        assert!((sol.objective() - 13.0).abs() < 1e-6, "Tc = {}", sol.objective());
+        assert!(
+            (sol.objective() - 13.0).abs() < 1e-6,
+            "Tc = {}",
+            sol.objective()
+        );
     }
 
     #[test]

@@ -357,7 +357,11 @@ impl PropagationSystem {
         }
         // `cursor` is the first repeated node (if the chain closed).
         let loop_ids = if let Some(pos) = chain.iter().position(|&x| x == cursor) {
-            chain[pos..].iter().rev().map(|&i| LatchId::new(i)).collect()
+            chain[pos..]
+                .iter()
+                .rev()
+                .map(|&i| LatchId::new(i))
+                .collect()
         } else {
             chain.into_iter().map(LatchId::new).collect()
         };

@@ -110,7 +110,10 @@ pub fn render_report(
     let critical = critical_report(circuit, &model)?;
     let _ = writeln!(w, "\ncritical combinational segments:");
     if critical.segments.is_empty() {
-        let _ = writeln!(w, "  (none — the cycle time is set by setup/width/clock rows)");
+        let _ = writeln!(
+            w,
+            "  (none — the cycle time is set by setup/width/clock rows)"
+        );
     }
     for (i, seg) in critical.segments.iter().enumerate() {
         let _ = write!(w, "  segment {i}: ");

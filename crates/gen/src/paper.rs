@@ -183,7 +183,7 @@ pub fn gaas_mips() -> Circuit {
     b.connect(rf_cell, op_a, 2.20);
     b.connect(rf_cell, op_b, 2.20);
     b.connect(instr, op_a, 1.65); // bypass/immediate path
-    // precharge loop: write port state → precharge enable → storage
+                                  // precharge loop: write port state → precharge enable → storage
     b.connect(rf_cell, rf_prech, 0.60);
     b.connect(rf_prech, rf_cell, 0.75);
     // execute: operands → ALU / shifter / psw flags
@@ -208,7 +208,8 @@ pub fn gaas_mips() -> Circuit {
     b.connect(wb, rf_cell, 1.30);
     b.connect(rf_waddr, rf_cell, 1.20);
 
-    b.build().expect("the GaAs MIPS model is structurally valid")
+    b.build()
+        .expect("the GaAs MIPS model is structurally valid")
 }
 
 /// The paper's cycle-time target for the GaAs MIPS (250 MHz ⇒ 4 ns).
@@ -263,7 +264,8 @@ pub fn appendix_fig1(delay: f64, setup: f64, dq: f64) -> Circuit {
     for (src, dst) in edges {
         b.connect(l(src), l(dst), delay);
     }
-    b.build().expect("the appendix circuit is structurally valid")
+    b.build()
+        .expect("the appendix circuit is structurally valid")
 }
 
 /// The nine input/output phase pairs of the appendix circuit, as
@@ -330,12 +332,7 @@ mod tests {
         let c = appendix_fig1(10.0, 1.0, 2.0);
         assert_eq!(c.num_latches(), 11);
         let k = c.k_matrix();
-        let expected = [
-            [0, 0, 1, 1],
-            [1, 0, 1, 1],
-            [1, 1, 0, 0],
-            [0, 1, 1, 0],
-        ];
+        let expected = [[0, 0, 1, 1], [1, 0, 1, 1], [1, 1, 0, 0], [0, 1, 1, 0]];
         for (i, row) in expected.iter().enumerate() {
             for (j, &want) in row.iter().enumerate() {
                 assert_eq!(k.get(i, j), want == 1, "K[{}][{}] mismatch", i + 1, j + 1);

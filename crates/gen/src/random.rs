@@ -142,12 +142,7 @@ pub fn tree(depth: usize, k: usize, seed: u64) -> Circuit {
     while level.len() > 1 {
         let mut next = Vec::new();
         for (i, pair) in level.chunks(2).enumerate() {
-            let node = b.add_latch(
-                format!("n{lvl}_{i}"),
-                PhaseId::new(lvl % k),
-                1.0,
-                1.0,
-            );
+            let node = b.add_latch(format!("n{lvl}_{i}"), PhaseId::new(lvl % k), 1.0, 1.0);
             for &child in pair {
                 b.connect(child, node, rng.gen_range(2.0..20.0));
             }
@@ -175,12 +170,7 @@ pub fn multi_loop(loops: usize, k: usize, seed: u64) -> Circuit {
         let stages = 3 + (li % 3);
         let mut prev = hub;
         for s in 0..stages {
-            let node = b.add_latch(
-                format!("l{li}_{s}"),
-                PhaseId::new((s + 1) % k),
-                1.0,
-                1.0,
-            );
+            let node = b.add_latch(format!("l{li}_{s}"), PhaseId::new((s + 1) % k), 1.0, 1.0);
             b.connect(prev, node, rng.gen_range(2.0..30.0));
             prev = node;
         }

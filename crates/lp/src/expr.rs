@@ -115,12 +115,7 @@ impl LinExpr {
     ///
     /// Panics if some term's variable index is out of range for `values`.
     pub fn eval(&self, values: &[f64]) -> f64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|(v, c)| c * values[v.0])
-                .sum::<f64>()
+        self.constant + self.terms.iter().map(|(v, c)| c * values[v.0]).sum::<f64>()
     }
 
     /// `true` if every coefficient and the constant are finite.

@@ -15,7 +15,10 @@
 //!   implementing the paper's §VI "parametric programming" direction — it
 //!   returns the exact breakpoints of the optimal objective as a piecewise
 //!   linear function of a scalar parameter (this regenerates Fig. 7's
-//!   breakpoints without sweeping).
+//!   breakpoints without sweeping),
+//! * infeasibility diagnosis: infeasible solves carry a Farkas certificate
+//!   ([`Solution::farkas`]) and [`extract_iis`] reduces the conflict to an
+//!   irreducible infeasible subsystem of named rows.
 //!
 //! The SMO constraint matrices contain only `0, ±1` entries (§VI), so a dense
 //! f64 tableau with modest tolerances ([`EPS`]) is numerically comfortable.
@@ -48,6 +51,7 @@
 mod error;
 mod export;
 mod expr;
+mod iis;
 mod parametric;
 mod problem;
 mod revised;
@@ -57,6 +61,7 @@ mod solution;
 pub use error::LpError;
 pub use export::write_lp;
 pub use expr::{LinExpr, VarId};
+pub use iis::{certifies_infeasibility, extract_iis, Iis};
 pub use parametric::{parametric_objective, parametric_rhs, ParametricCurve, ParametricSegment};
 pub use problem::{ConstraintId, Objective, Problem, Sense, SimplexVariant};
 pub use solution::{OptimalSolution, Solution, Status};

@@ -150,7 +150,9 @@ pub fn parametric_rhs(
 
     loop {
         // Objective slope for the current basis (user orientation).
-        let slope_min: f64 = (0..t.rows()).map(|r| t.costs[t.basis[r]] * t.param(r)).sum();
+        let slope_min: f64 = (0..t.rows())
+            .map(|r| t.costs[t.basis[r]] * t.param(r))
+            .sum();
         let slope = t.sense_factor * slope_min;
 
         // How far can θ grow before a basic variable goes negative?
@@ -161,8 +163,7 @@ pub fn parametric_rhs(
             if dp < -EPS {
                 let limit = (t.rhs(r) / -dp).max(theta);
                 if limit < theta_hi - EPS
-                    || (limit < theta_hi + EPS
-                        && leaving.is_some_and(|l| t.basis[r] < t.basis[l]))
+                    || (limit < theta_hi + EPS && leaving.is_some_and(|l| t.basis[r] < t.basis[l]))
                 {
                     theta_hi = limit;
                     leaving = Some(r);
@@ -497,8 +498,7 @@ pub fn parametric_objective(
             if a > EPS {
                 let ratio = t.rhs(r) / a;
                 let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leave.is_some_and(|l| t.basis[r] < t.basis[l]));
+                    || (ratio < best_ratio + EPS && leave.is_some_and(|l| t.basis[r] < t.basis[l]));
                 if better {
                     best_ratio = ratio;
                     leave = Some(r);

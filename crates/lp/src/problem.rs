@@ -308,7 +308,14 @@ impl fmt::Display for Problem {
         }
         for (i, v) in self.vars.iter().enumerate() {
             if v.lower != 0.0 || v.upper != f64::INFINITY {
-                writeln!(f, "  {} in [{}, {}]  ({})", VarId(i), v.lower, v.upper, v.name)?;
+                writeln!(
+                    f,
+                    "  {} in [{}, {}]  ({})",
+                    VarId(i),
+                    v.lower,
+                    v.upper,
+                    v.name
+                )?;
             }
         }
         Ok(())

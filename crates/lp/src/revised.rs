@@ -60,6 +60,9 @@ struct RevisedCore {
     iterations: usize,
     /// eta-file length that triggers refactorization
     refactor_every: usize,
+    /// phase-1 duals per standard row, captured at infeasible termination
+    /// (a Farkas certificate before row-flip unmapping)
+    farkas_y: Option<Vec<f64>>,
 }
 
 impl RevisedCore {
@@ -96,6 +99,7 @@ impl RevisedCore {
             xb,
             iterations: 0,
             refactor_every: REFACTOR_EVERY,
+            farkas_y: None,
         }
     }
 
@@ -165,7 +169,12 @@ impl RevisedCore {
         for col in 0..m {
             // partial pivoting
             let piv_row = (col..m)
-                .max_by(|&x, &y| a[x][col].abs().partial_cmp(&a[y][col].abs()).expect("finite"))
+                .max_by(|&x, &y| {
+                    a[x][col]
+                        .abs()
+                        .partial_cmp(&a[y][col].abs())
+                        .expect("finite")
+                })
                 .expect("non-empty range");
             if a[piv_row][col].abs() < 1e-12 {
                 return Err(LpError::Numerical {
@@ -274,7 +283,11 @@ impl RevisedCore {
                     }
                 }
             }
-            self.xb[r] = if theta < 0.0 && theta > -1e-10 { 0.0 } else { theta };
+            self.xb[r] = if theta < 0.0 && theta > -1e-10 {
+                0.0
+            } else {
+                theta
+            };
             self.in_basis[self.basis[r]] = false;
             self.in_basis[q] = true;
             self.basis[r] = q;
@@ -316,6 +329,10 @@ impl RevisedCore {
             let optimal = self.phase(&phase1, true, limit)?;
             debug_assert!(optimal, "phase 1 is bounded below");
             if self.artificial_infeasibility() > 1e-7 {
+                // Capture the phase-1 duals y = c_B·B⁻¹ (a Farkas
+                // certificate) before the basis is touched further.
+                let cb1: Vec<f64> = self.basis.iter().map(|&j| phase1[j]).collect();
+                self.farkas_y = Some(self.btran(&cb1));
                 return Ok(Status::Infeasible);
             }
             // Drive basic artificials out where possible (mirrors the dense
@@ -325,9 +342,9 @@ impl RevisedCore {
                 if matches!(self.col_kinds[self.basis[r]], ColKind::Artificial { .. }) {
                     let er: Vec<f64> = (0..self.m).map(|i| f64::from(u8::from(i == r))).collect();
                     let row = self.btran(&er); // r-th row of B⁻¹
-                    // Try every eligible column until one has a usable pivot
-                    // in this row (the BTRAN screen can pass columns whose
-                    // FTRAN pivot is numerically tiny).
+                                               // Try every eligible column until one has a usable pivot
+                                               // in this row (the BTRAN screen can pass columns whose
+                                               // FTRAN pivot is numerically tiny).
                     for q in 0..self.ncols {
                         if self.in_basis[q]
                             || matches!(self.col_kinds[q], ColKind::Artificial { .. })
@@ -396,6 +413,10 @@ pub(crate) fn solve_with_refactor_interval(
     core.refactor_every = refactor_every.max(1);
     let status = core.optimize()?;
     if status != Status::Optimal {
+        let farkas = core
+            .farkas_y
+            .take()
+            .map(|y| skeleton.map_feasibility_duals(&y));
         return Ok(Solution {
             status,
             objective: None,
@@ -404,6 +425,7 @@ pub(crate) fn solve_with_refactor_interval(
             reduced_costs: vec![],
             slacks: vec![],
             iterations: core.iterations,
+            farkas,
         });
     }
     // primal values
@@ -441,6 +463,7 @@ pub(crate) fn solve_with_refactor_interval(
         reduced_costs,
         slacks,
         iterations: core.iterations,
+        farkas: None,
     })
 }
 
@@ -454,7 +477,9 @@ mod tests {
 
     fn both(p: &Problem) -> (crate::Solution, crate::Solution) {
         let dense = p.solve().expect("dense solves");
-        let revised = p.solve_with(SimplexVariant::Revised).expect("revised solves");
+        let revised = p
+            .solve_with(SimplexVariant::Revised)
+            .expect("revised solves");
         (dense, revised)
     }
 

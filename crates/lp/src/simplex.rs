@@ -525,6 +525,45 @@ impl Tableau {
             .collect()
     }
 
+    /// Maps a standard-row dual vector back to user rows undoing only the
+    /// normalization flips — **not** the objective orientation.
+    ///
+    /// Used for phase-1 (feasibility) duals, which are independent of
+    /// whether the user minimizes or maximizes. Multipliers of internal
+    /// upper-bound rows (standard rows past `user_rows`) are dropped; the
+    /// certificate stays valid because each dropped row is `x_i ≤ u_i`
+    /// with `y ≤ 0`, which the variable-box supremum check used by
+    /// [`certifies_infeasibility`](crate::certifies_infeasibility) already
+    /// accounts for.
+    pub(crate) fn map_feasibility_duals(&self, y: &[f64]) -> Vec<f64> {
+        (0..self.user_rows)
+            .map(|r| if self.row_flip[r] { -y[r] } else { y[r] })
+            .collect()
+    }
+
+    /// Phase-1 duals per standard row, read off the phase-1 reduced-cost
+    /// row. Only meaningful right after phase 1 terminated infeasible (no
+    /// phase-2 pivots may have run since).
+    ///
+    /// Each row's dual comes from the reduced cost of its designated
+    /// logical column `j`: `z_j = c_j − y·a_j`, and `a_j` is `±e_r`, so a
+    /// slack (`c = 0`, `a = +e_r`) gives `y_r = −z_j` and an artificial
+    /// (`c = 1` in phase 1, `a = +e_r`) gives `y_r = 1 − z_j`.
+    pub(crate) fn phase1_duals(&self) -> Vec<f64> {
+        (0..self.rows())
+            .map(|r| {
+                let col = self.dual_col[r];
+                match self.col_kinds[col] {
+                    ColKind::Slack { .. } => -self.z[col],
+                    ColKind::Artificial { .. } => 1.0 - self.z[col],
+                    ColKind::Surplus { .. } | ColKind::Structural { .. } => {
+                        unreachable!("dual col is a slack or artificial")
+                    }
+                }
+            })
+            .collect()
+    }
+
     /// Maps standard-column reduced costs to user-variable reduced costs.
     pub(crate) fn map_reduced_costs(&self, z: &[f64]) -> Vec<f64> {
         self.var_cols
@@ -610,6 +649,7 @@ pub(crate) fn solve_with_tableau(
                 values,
                 slacks,
                 iterations: t.iterations,
+                farkas: None,
             }
         }
         _ => Solution {
@@ -620,6 +660,10 @@ pub(crate) fn solve_with_tableau(
             reduced_costs: vec![],
             slacks: vec![],
             iterations: t.iterations,
+            // When phase 1 ends with positive artificial mass, its duals
+            // are exactly a Farkas certificate of infeasibility.
+            farkas: (status == Status::Infeasible)
+                .then(|| t.map_feasibility_duals(&t.phase1_duals())),
         },
     };
     let keep = solution.status == Status::Optimal;

@@ -30,7 +30,9 @@ impl fmt::Display for Status {
 /// Result of [`Problem::solve`](crate::Problem::solve).
 ///
 /// For non-[`Optimal`](Status::Optimal) statuses the primal/dual vectors are
-/// empty and [`Solution::objective`] is `None`.
+/// empty and [`Solution::objective`] is `None`; an
+/// [`Infeasible`](Status::Infeasible) solution instead carries a Farkas
+/// certificate (see [`Solution::farkas`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Solution {
     pub(crate) status: Status,
@@ -40,6 +42,7 @@ pub struct Solution {
     pub(crate) reduced_costs: Vec<f64>,
     pub(crate) slacks: Vec<f64>,
     pub(crate) iterations: usize,
+    pub(crate) farkas: Option<Vec<f64>>,
 }
 
 impl Solution {
@@ -63,6 +66,23 @@ impl Solution {
         self.iterations
     }
 
+    /// Farkas certificate of infeasibility, present when the status is
+    /// [`Status::Infeasible`].
+    ///
+    /// The returned vector `y` has one multiplier per constraint row (in
+    /// [`ConstraintId`] order) with `y_r ≤ 0` for `≤` rows, `y_r ≥ 0` for
+    /// `≥` rows and free sign for `=` rows. Summing `y_r ×` each row
+    /// yields an aggregate inequality `(Σ y_r a_r)·x ≥ Σ y_r b_r` that
+    /// every feasible point would have to satisfy, yet whose left-hand
+    /// side stays below the right-hand side over the entire variable box —
+    /// a self-contained proof that no feasible point exists. Rows with
+    /// `y_r = 0` play no part in the conflict; the non-zero support is the
+    /// natural seed for IIS extraction
+    /// ([`extract_iis`](crate::extract_iis)).
+    pub fn farkas(&self) -> Option<&[f64]> {
+        self.farkas.as_deref()
+    }
+
     /// Converts into an [`OptimalSolution`], failing if the status is not
     /// optimal.
     ///
@@ -76,6 +96,30 @@ impl Solution {
             Err(LpError::NotOptimal {
                 status: self.status,
             })
+        }
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.status {
+            Status::Optimal => write!(
+                f,
+                "optimal: objective {} after {} iteration(s)",
+                self.objective.unwrap_or(f64::NAN),
+                self.iterations
+            ),
+            Status::Infeasible => {
+                write!(f, "infeasible after {} iteration(s)", self.iterations)?;
+                if let Some(y) = &self.farkas {
+                    let support = y.iter().filter(|v| v.abs() > 1e-9).count();
+                    write!(f, "; Farkas certificate over {support} row(s)")?;
+                }
+                Ok(())
+            }
+            Status::Unbounded => {
+                write!(f, "unbounded after {} iteration(s)", self.iterations)
+            }
         }
     }
 }
@@ -186,6 +230,7 @@ mod tests {
             reduced_costs: vec![],
             slacks: vec![],
             iterations: 3,
+            farkas: None,
         };
         let err = s.into_optimal().unwrap_err();
         assert_eq!(
@@ -194,5 +239,28 @@ mod tests {
                 status: Status::Infeasible
             }
         );
+    }
+
+    #[test]
+    fn display_is_self_describing() {
+        let mut s = Solution {
+            status: Status::Infeasible,
+            objective: None,
+            values: vec![],
+            duals: vec![],
+            reduced_costs: vec![],
+            slacks: vec![],
+            iterations: 3,
+            farkas: Some(vec![-1.0, 0.0, 2.0]),
+        };
+        assert_eq!(
+            s.to_string(),
+            "infeasible after 3 iteration(s); Farkas certificate over 2 row(s)"
+        );
+        s.status = Status::Optimal;
+        s.objective = Some(8.0);
+        assert_eq!(s.to_string(), "optimal: objective 8 after 3 iteration(s)");
+        s.status = Status::Unbounded;
+        assert_eq!(s.to_string(), "unbounded after 3 iteration(s)");
     }
 }

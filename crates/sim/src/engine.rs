@@ -218,14 +218,11 @@ pub fn simulate(circuit: &Circuit, schedule: &ClockSchedule, options: &SimOption
         // Convergence: relative departures equal last wave's.
         if wave > 0 {
             let prev = &departures[wave - 1];
-            let same = dep_rel
-                .iter()
-                .zip(prev.iter())
-                .all(|(a, b)| match (a, b) {
-                    (Some(x), Some(y)) => (x - y).abs() <= options.tolerance,
-                    (None, None) => true,
-                    _ => false,
-                });
+            let same = dep_rel.iter().zip(prev.iter()).all(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => (x - y).abs() <= options.tolerance,
+                (None, None) => true,
+                _ => false,
+            });
             if same && converged_at.is_none() {
                 converged_at = Some(wave);
             }
@@ -333,9 +330,8 @@ mod tests {
     fn dynamic_hold_check_fires_on_fast_path() {
         let mut b = CircuitBuilder::new(1);
         let f1 = b.add_flip_flop("F1", p(1), 0.1, 0.1);
-        let f2 = b.add_sync(
-            smo_circuit::Synchronizer::flip_flop("F2", p(1), 0.1, 0.2).with_hold(1.0),
-        );
+        let f2 =
+            b.add_sync(smo_circuit::Synchronizer::flip_flop("F2", p(1), 0.1, 0.2).with_hold(1.0));
         b.connect_min_max(f1, f2, 0.3, 5.0);
         let c = b.build().unwrap();
         let sched = ClockSchedule::new(10.0, vec![0.0], vec![5.0]).unwrap();
@@ -348,9 +344,8 @@ mod tests {
         // and with enough contamination delay it passes
         let mut b = CircuitBuilder::new(1);
         let f1 = b.add_flip_flop("F1", p(1), 0.1, 0.1);
-        let f2 = b.add_sync(
-            smo_circuit::Synchronizer::flip_flop("F2", p(1), 0.1, 0.2).with_hold(1.0),
-        );
+        let f2 =
+            b.add_sync(smo_circuit::Synchronizer::flip_flop("F2", p(1), 0.1, 0.2).with_hold(1.0));
         b.connect_min_max(f1, f2, 2.0, 5.0);
         let c = b.build().unwrap();
         let trace = simulate(&c, &sched, &opts);

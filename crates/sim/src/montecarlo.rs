@@ -129,7 +129,10 @@ pub fn monte_carlo(
                 scope.spawn(move || run_range(lo, hi.max(lo)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
     let mut total = MonteCarloReport {
         runs: options.runs,

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, scope) in [
         ("paper C3 (all pairs)", NonoverlapScope::AllPairs),
-        ("extension (latch destinations)", NonoverlapScope::LatchDestinations),
+        (
+            "extension (latch destinations)",
+            NonoverlapScope::LatchDestinations,
+        ),
     ] {
         let circuit = build()?;
         let opts = MlpOptions {
@@ -69,12 +72,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..Default::default()
         },
     );
-    println!("Tc = {:.2}, feasible for setup: {}", sol.cycle_time(), report.setup_slacks().iter().all(|s| *s >= 0.0));
+    println!(
+        "Tc = {:.2}, feasible for setup: {}",
+        sol.cycle_time(),
+        report.setup_slacks().iter().all(|s| *s >= 0.0)
+    );
     for (i, m) in report.hold_margins().iter().enumerate() {
         if let Some(m) = m {
             println!(
                 "  edge #{i}: hold margin {m:+.2} {}",
-                if *m < 0.0 { "← VIOLATED (add delay or reduce hold)" } else { "" }
+                if *m < 0.0 {
+                    "← VIOLATED (add delay or reduce hold)"
+                } else {
+                    ""
+                }
             );
         }
     }

@@ -11,11 +11,14 @@
 //! smo simulate <netlist> [waves]    behavioural simulation at the optimum
 //! smo dot      <netlist>            Graphviz export
 //! smo lp       <netlist>            CPLEX LP-format dump of problem P2
+//! smo lint     <netlist>            structural sanity checks
+//! smo diagnose <netlist> [--cycle-time T]   why is there no schedule at T?
 //! ```
 //!
 //! Netlists use the `smo_circuit::netlist` text format; files containing
 //! `gate`/`wire` lines are parsed gate-level and extracted automatically.
 
+use smo::analyze::{diagnose, lint};
 use smo::circuit::{lump_equivalent_latches, netlist, to_dot, Circuit, ClockSchedule};
 use smo::sim::{monte_carlo, simulate, MonteCarloOptions, SimOptions};
 use smo::timing::{
@@ -44,6 +47,12 @@ const USAGE: &str = "usage:
   smo dot      <netlist>                         Graphviz export
   smo lp       <netlist>                         LP-format dump of problem P2
   smo lump     <netlist>                         bus-lumped netlist (stdout)
+  smo lint     <netlist>                         structural sanity checks
+                                                 (exit 1 on error findings)
+  smo diagnose <netlist> [--cycle-time T] [--json]
+                                                 minimum cycle time, or a
+                                                 Farkas-certified explanation
+                                                 of why T is unachievable
   smo montecarlo <netlist> <scale> [runs]        jittered-margin campaign at
                                                  scale × the optimal schedule";
 
@@ -160,6 +169,56 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             print!("{}", netlist::write(&reduced));
             Ok(ExitCode::SUCCESS)
         }
+        "lint" => {
+            let circuit = load(rest.first().ok_or("missing netlist path")?)?;
+            let report = lint(&circuit);
+            println!("{report}");
+            Ok(if report.has_errors() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "diagnose" => {
+            let mut path = None;
+            let mut cycle_time = None;
+            let mut json = false;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--cycle-time" => {
+                        let t: f64 = it
+                            .next()
+                            .ok_or("--cycle-time needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad cycle time: {e}"))?;
+                        if !t.is_finite() || t < 0.0 {
+                            return Err(format!(
+                                "cycle time must be finite and non-negative, got {t}"
+                            ));
+                        }
+                        cycle_time = Some(t);
+                    }
+                    "--json" => json = true,
+                    other if path.is_none() && !other.starts_with('-') => {
+                        path = Some(other.to_string());
+                    }
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            let circuit = load(&path.ok_or("missing netlist path")?)?;
+            let d = diagnose(&circuit, cycle_time).map_err(|e| e.to_string())?;
+            if json {
+                println!("{}", d.to_json());
+            } else {
+                println!("{d}");
+            }
+            Ok(if d.is_feasible() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
         "montecarlo" => {
             let circuit = load(rest.first().ok_or("missing netlist path")?)?;
             let scale: f64 = rest
@@ -168,7 +227,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 .parse()
                 .map_err(|e| format!("bad scale: {e}"))?;
             if !scale.is_finite() || scale <= 0.0 {
-                return Err(format!("scale must be a positive finite number, got {scale}"));
+                return Err(format!(
+                    "scale must be a positive finite number, got {scale}"
+                ));
             }
             let runs: usize = match rest.get(2) {
                 Some(r) => r.parse().map_err(|e| format!("bad run count: {e}"))?,

@@ -12,7 +12,9 @@
 //!   MLP, schedule verification, baselines ([`smo_core`]),
 //! * [`sim`] — discrete-event behavioural simulator ([`smo_sim`]),
 //! * [`gen`] — circuit generators and the paper's example circuits
-//!   ([`smo_gen`]).
+//!   ([`smo_gen`]),
+//! * [`analyze`] — circuit lints and Farkas-certified infeasibility
+//!   diagnosis ([`smo_analyze`]).
 //!
 //! ## Quickstart
 //!
@@ -28,6 +30,7 @@
 //! # }
 //! ```
 
+pub use smo_analyze as analyze;
 pub use smo_circuit as circuit;
 pub use smo_core as timing;
 pub use smo_gen as gen;

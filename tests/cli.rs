@@ -122,9 +122,94 @@ fn lump_round_trips_and_preserves_optimum() {
 }
 
 #[test]
+fn lint_runs_clean_on_every_shipped_netlist() {
+    for f in [
+        "circuits/example1.ckt",
+        "circuits/example2.ckt",
+        "circuits/gaas_mips.ckt",
+        "circuits/appendix_fig1.ckt",
+        "circuits/alu_bypass.ckt",
+    ] {
+        let out = smo(&["lint", f]);
+        assert!(out.status.success(), "{f} lint failed");
+        assert!(stdout(&out).contains("clean: no findings"), "{f}");
+    }
+}
+
+#[test]
+fn lint_flags_a_bad_netlist_and_fails() {
+    let dir = tempdir();
+    let path = dir.join("bad.ckt");
+    std::fs::write(
+        &path,
+        "clock 2\nlatch A phase=1 setup=0 dq=0\nlatch B phase=2 setup=0 dq=0\n\
+         path A B delay=0\npath B A delay=0\n",
+    )
+    .expect("writable");
+    let out = smo(&["lint", path.to_str().expect("utf-8")]);
+    assert!(!out.status.success(), "error findings must exit non-zero");
+    let text = stdout(&out);
+    assert!(text.contains("error: [zero-delay-loop]"), "{text}");
+}
+
+#[test]
+fn diagnose_reports_optimum_when_uncapped() {
+    let out = smo(&["diagnose", "circuits/example1.ckt"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("feasible: minimum cycle time 110"));
+}
+
+#[test]
+fn diagnose_names_the_conflict_at_an_impossible_cycle_time() {
+    let out = smo(&["diagnose", "circuits/example1.ckt", "--cycle-time", "100"]);
+    assert!(
+        !out.status.success(),
+        "infeasible target must exit non-zero"
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("no feasible clock schedule at cycle time 100"),
+        "{text}"
+    );
+    assert!(text.contains("Farkas-certified"), "{text}");
+    assert!(text.contains("L2R (eq. 19)"), "{text}");
+    assert!(text.contains("cycle time capped at 100"), "{text}");
+
+    let json = smo(&[
+        "diagnose",
+        "circuits/example1.ckt",
+        "--cycle-time",
+        "100",
+        "--json",
+    ]);
+    let text = stdout(&json);
+    assert!(text.contains("\"feasible\": false"), "{text}");
+    assert!(text.contains("\"iis\": ["), "{text}");
+}
+
+#[test]
+fn diagnose_rejects_bad_flags() {
+    let out = smo(&["diagnose", "circuits/example1.ckt", "--cycle-time"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+
+    let out = smo(&["diagnose", "circuits/example1.ckt", "--cycle-time", "-5"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("non-negative"));
+
+    let out = smo(&["diagnose", "circuits/example1.ckt", "--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected argument"));
+}
+
+#[test]
 fn montecarlo_reports_failure_rate() {
     let out = smo(&["montecarlo", "circuits/example1.ckt", "0.97", "50"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     assert!(text.contains("runs failed"), "{text}");
     assert!(text.contains("worst shortfall"));

@@ -59,7 +59,10 @@ fn example1_nrip_like_baseline_optimal_only_at_60() {
     let sym60 = baseline::symmetric_clock(&paper::example1(60.0))
         .expect("runs")
         .cycle_time();
-    assert!((opt60 - sym60).abs() < 1e-6, "optimal at the balanced point");
+    assert!(
+        (opt60 - sym60).abs() < 1e-6,
+        "optimal at the balanced point"
+    );
     for d41 in [80.0, 90.0, 100.0] {
         let opt = tc(&paper::example1(d41));
         let sym = baseline::symmetric_clock(&paper::example1(d41))
@@ -75,7 +78,9 @@ fn example2_nrip_like_gap_is_large() {
     // is tuned to the same ballpark.
     let circuit = paper::example2();
     let opt = tc(&circuit);
-    let sym = baseline::symmetric_clock(&circuit).expect("runs").cycle_time();
+    let sym = baseline::symmetric_clock(&circuit)
+        .expect("runs")
+        .cycle_time();
     let gap = (sym / opt - 1.0) * 100.0;
     assert!((30.0..45.0).contains(&gap), "gap = {gap:.1}%");
 }
@@ -96,9 +101,16 @@ fn gaas_matches_example3_observations() {
     assert_eq!(circuit.num_flip_flops(), 3);
     let sol = min_cycle_time(&circuit).expect("solves");
     // optimal Tc ≈ 4.4 ns, ~10 % above the 4-ns target
-    assert!((sol.cycle_time() - 4.4).abs() < 0.05, "Tc = {}", sol.cycle_time());
+    assert!(
+        (sol.cycle_time() - 4.4).abs() < 0.05,
+        "Tc = {}",
+        sol.cycle_time()
+    );
     let over_target = (sol.cycle_time() / 4.0 - 1.0) * 100.0;
-    assert!((5.0..15.0).contains(&over_target), "{over_target:.1}% over target");
+    assert!(
+        (5.0..15.0).contains(&over_target),
+        "{over_target:.1}% over target"
+    );
     // K13 = K31 = 0
     let k = circuit.k_matrix();
     assert!(!k.get(0, 2) && !k.get(2, 0));

@@ -18,7 +18,12 @@ struct Spec {
 
 fn spec_strategy() -> impl Strategy<Value = Spec> {
     (2usize..=4, 2usize..=8).prop_flat_map(|(phases, n)| {
-        let sync = (0..phases, 0.1f64..5.0, 0.0f64..5.0, proptest::bool::weighted(0.2));
+        let sync = (
+            0..phases,
+            0.1f64..5.0,
+            0.0f64..5.0,
+            proptest::bool::weighted(0.2),
+        );
         let edge = (0..n, 0..n, 0.0f64..60.0);
         (
             Just(phases),

@@ -88,7 +88,10 @@ fn compare(circuit: &smo::circuit::Circuit, sched: &ClockSchedule) {
         );
         return;
     }
-    assert!(trace.converged(), "analysis converged but simulation did not");
+    assert!(
+        trace.converged(),
+        "analysis converged but simulation did not"
+    );
     // identical steady-state departures
     for (i, (s, a)) in trace
         .steady_departures()
@@ -112,9 +115,10 @@ fn compare(circuit: &smo::circuit::Circuit, sched: &ClockSchedule) {
     for v in report.violations() {
         if let Violation::Setup { latch, .. } = v {
             assert!(
-                trace.violations().iter().any(
-                    |sv| matches!(sv, SimViolation::Setup { latch: l, .. } if l == latch)
-                ),
+                trace
+                    .violations()
+                    .iter()
+                    .any(|sv| matches!(sv, SimViolation::Setup { latch: l, .. } if l == latch)),
                 "latch {latch} flagged statically but not dynamically"
             );
         }

@@ -1,0 +1,259 @@
+//! The [`Strategy`] trait and the combinators/primitive strategies used by
+//! the workspace's property tests.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy simply draws a value from a [`TestRng`]. `None` signals a
+/// rejected draw (e.g. a failed [`prop_filter`](Strategy::prop_filter));
+/// the runner retries with a bounded budget.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value, or `None` to reject this draw.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then uses it to build and sample a second
+    /// strategy (dependent generation).
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects generated values for which `f` returns `false`.
+    ///
+    /// `reason` is reported if the rejection budget is exhausted.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let seed = self.inner.sample(rng)?;
+        (self.f)(seed).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: String,
+}
+
+impl<S, F> Filter<S, F> {
+    /// The reason reported when this filter exhausts the reject budget.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        let v = self.inner.sample(rng)?;
+        if (self.f)(&v) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+/// Strategy that always yields a clone of one fixed value (mirrors
+/// `proptest::strategy::Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8, f64, f32);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.sample(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Characters drawn for string strategies: printable ASCII plus a few
+/// multi-byte code points, and never control characters (approximating
+/// the `\PC` character class the workspace's regex strategies use).
+const STRING_POOL: &[char] = &[
+    ' ', '!', '"', '#', '$', '%', '&', '\'', '(', ')', '*', '+', ',', '-', '.', '/', '0', '1', '2',
+    '3', '4', '5', '6', '7', '8', '9', ':', ';', '<', '=', '>', '?', '@', 'A', 'B', 'C', 'D', 'E',
+    'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X',
+    'Y', 'Z', '[', '\\', ']', '^', '_', '`', 'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k',
+    'l', 'm', 'n', 'o', 'p', 'q', 'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '{', '|', '}', '~',
+    'é', 'Ω', 'λ', '中', '©', '±', '\u{00A0}', '🦀',
+];
+
+/// A `&str` acts as a regex-shaped string strategy, as in real proptest.
+///
+/// This stub does not implement regexes: it draws characters from a
+/// printable, control-free pool and honours only a trailing `{m,n}`
+/// length quantifier (defaulting to lengths `0..=32`). That is faithful
+/// enough for the fuzz-style `"\PC{0,300}"` strategies the workspace
+/// uses.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> Option<String> {
+        let (lo, hi) = parse_length_quantifier(self).unwrap_or((0, 32));
+        let len = rng.usize_inclusive(lo, hi);
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            out.push(STRING_POOL[rng.usize_inclusive(0, STRING_POOL.len() - 1)]);
+        }
+        Some(out)
+    }
+}
+
+/// Extracts `(m, n)` from a pattern ending in `{m,n}`.
+fn parse_length_quantifier(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_suffix('}')?;
+    let open = body.rfind('{')?;
+    let (lo, hi) = body[open + 1..].split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from(0xFEED)
+    }
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut r = rng();
+        let s = (1usize..=4, -1.0f64..1.0);
+        for _ in 0..200 {
+            let (a, b) = s.sample(&mut r).expect("no rejection");
+            assert!((1..=4).contains(&a));
+            assert!((-1.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_filter_flat_map_compose() {
+        let mut r = rng();
+        let s = (1usize..10)
+            .prop_flat_map(|n| (Just(n), 0usize..n))
+            .prop_map(|(n, k)| (n, k, n * 10 + k))
+            .prop_filter("even tag", |&(_, _, tag)| tag % 2 == 0);
+        let mut accepted = 0;
+        for _ in 0..200 {
+            if let Some((n, k, tag)) = s.sample(&mut r) {
+                assert!(k < n);
+                assert_eq!(tag, n * 10 + k);
+                assert_eq!(tag % 2, 0);
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 0, "filter rejected every draw");
+    }
+
+    #[test]
+    fn string_strategy_honours_length_quantifier() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "\\PC{0,300}".sample(&mut r).expect("no rejection");
+            assert!(s.chars().count() <= 300);
+            assert!(!s.chars().any(char::is_control));
+        }
+    }
+
+    #[test]
+    fn length_quantifier_parsing() {
+        assert_eq!(parse_length_quantifier("\\PC{0,300}"), Some((0, 300)));
+        assert_eq!(parse_length_quantifier("[a-z]{2,5}"), Some((2, 5)));
+        assert_eq!(parse_length_quantifier("plain"), None);
+    }
+}

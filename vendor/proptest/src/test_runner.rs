@@ -1,0 +1,222 @@
+//! Test execution: configuration, RNG, and the case-running loop.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SampleRange, SeedableRng};
+
+/// Subset of `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case asked to be discarded (`prop_assume!`); a fresh input is
+    /// drawn instead.
+    Reject(String),
+    /// The case failed an assertion; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a [`TestCaseError::Fail`].
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a [`TestCaseError::Reject`].
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Result of one test case, as returned by the closure `proptest!`
+/// generates.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies.
+///
+/// Wraps the vendored deterministic [`StdRng`]; strategies use the typed
+/// helpers rather than raw bits.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// An RNG with an explicit seed (used by strategy unit tests).
+    pub fn seed_from(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples uniformly from any range the vendored `rand` supports.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform draw from `lo..=hi`.
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Runs a strategy against a test closure for the configured number of
+/// cases (subset of `proptest::test_runner::TestRunner`).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    name: &'static str,
+}
+
+/// FNV-1a, used to derive a stable per-test seed from the test's path.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG seed is derived from `name`, so each
+    /// test is deterministic across runs without a persistence file.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let seed = fnv1a(name.as_bytes());
+        TestRunner {
+            config,
+            rng: TestRng::seed_from(seed),
+            name,
+        }
+    }
+
+    /// Runs `test` against `cases` inputs drawn from `strategy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails (with the failing input's debug repr — no
+    /// shrinking) or when the rejection budget is exhausted.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        mut test: impl FnMut(S::Value) -> TestCaseResult,
+    ) {
+        let cases = self.config.cases;
+        // Same spirit as proptest's max_global_rejects: generous, bounded.
+        let max_rejects = (cases as u64) * 64 + 1024;
+        let mut rejects: u64 = 0;
+        let mut passed: u32 = 0;
+        while passed < cases {
+            let Some(value) = strategy.sample(&mut self.rng) else {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "{}: too many strategy rejections ({rejects}) — filters are too strict",
+                    self.name
+                );
+                continue;
+            };
+            let repr = format!("{value:?}");
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= max_rejects,
+                        "{}: too many rejected cases ({rejects}); last: {why}",
+                        self.name
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "{}: property failed after {passed} passing case(s)\n\
+                         {message}\nfailing input: {repr}",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_configured_number_of_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(37), "unit::count");
+        let mut calls = 0;
+        runner.run(&(0usize..100), |_| {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(calls, 37);
+    }
+
+    #[test]
+    fn rejects_draw_replacement_inputs() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10), "unit::rejects");
+        let mut passed = 0;
+        runner.run(&(0usize..100), |v| {
+            if v % 2 == 0 {
+                return Err(TestCaseError::reject("odd only"));
+            }
+            passed += 1;
+            Ok(())
+        });
+        assert_eq!(passed, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10), "unit::fails");
+        runner.run(&(0usize..100), |_| Err(TestCaseError::fail("always fails")));
+    }
+
+    #[test]
+    fn seeding_is_stable_per_name() {
+        let sample = |name: &'static str| {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(5), name);
+            let mut seen = Vec::new();
+            runner.run(&(0usize..1_000_000), |v| {
+                seen.push(v);
+                Ok(())
+            });
+            seen
+        };
+        assert_eq!(sample("unit::stable"), sample("unit::stable"));
+        assert_ne!(sample("unit::stable"), sample("unit::other"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal API-compatible substitute. The real serde
+//! data model is not reproduced: `Serialize`/`Deserialize` are marker
+//! traits with blanket implementations, and the derive macros expand to
+//! nothing. This is sufficient because the workspace never serializes
+//! through serde (all JSON output is hand-rolled); the derives merely
+//! decorate public types so the API is source-compatible with real serde
+//! if the dependency is ever swapped back.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented for all
+/// types; carries no behaviour in this offline stub.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Blanket-implemented for
+/// all types; carries no behaviour in this offline stub.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
