@@ -18,4 +18,15 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 echo "==> cargo test"
 cargo test -q
 
+echo "==> smo lint + smo analyze over circuits/*.ckt"
+# `lint` exits non-zero on error-severity findings; `analyze` exits 2 when
+# the combinatorial bracket, the presolved solve and the plain solve
+# disagree (an internal soundness bug). Either failure fails CI.
+cargo build -q --release --bin smo
+for ckt in circuits/*.ckt; do
+  echo "--- $ckt"
+  ./target/release/smo lint "$ckt"
+  ./target/release/smo analyze "$ckt"
+done
+
 echo "CI OK"

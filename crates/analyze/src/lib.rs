@@ -1,6 +1,6 @@
-//! # smo-analyze — circuit lints and infeasibility diagnosis
+//! # smo-analyze — circuit lints, infeasibility diagnosis, constraint analysis
 //!
-//! Static-analysis companion to the SMO timing engine, with two passes:
+//! Static-analysis companion to the SMO timing engine, with three passes:
 //!
 //! * **Linting** ([`lint`]) — severity-tiered structural checks over a
 //!   [`Circuit`](smo_circuit::Circuit): dangling synchronizers, dead
@@ -12,8 +12,14 @@
 //!   irreducible infeasible subsystem and map every member back to the
 //!   paper's constraint names (C1–C3 clock rows, L1 setup, L2R
 //!   propagation) with the latches and phases involved.
+//! * **Constraint analysis** ([`analyze`]) — cross-check the combinatorial
+//!   cycle-time bracket `lower ≤ Tc* ≤ upper` against the LP optimum solved
+//!   both through the presolve pipeline and plain, and report which
+//!   constraint families presolve removed. Any disagreement is a hard
+//!   [`AnalyzeError`], not a finding.
 //!
-//! Both passes back the `smo lint` and `smo diagnose` CLI subcommands.
+//! The passes back the `smo lint`, `smo diagnose` and `smo analyze` CLI
+//! subcommands.
 //!
 //! ## Example
 //!
@@ -43,6 +49,8 @@
 
 mod diagnose;
 mod lint;
+mod report;
 
 pub use diagnose::{diagnose, diagnose_with, Diagnosis};
 pub use lint::{lint, Finding, LintReport, Rule, Severity};
+pub use report::{analyze, constraint_family, AnalyzeError, AnalyzeReport};

@@ -131,6 +131,49 @@ impl LintReport {
             .filter(|f| f.severity == severity)
             .count()
     }
+
+    /// Renders the report as a JSON object (hand-rolled, mirroring the
+    /// `Display` content): a `clean` flag, per-severity counts, and the
+    /// findings with rule name, severity and message.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str(&format!(
+            "  \"errors\": {},\n  \"warnings\": {},\n  \"infos\": {},\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        ));
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"}}{}\n",
+                f.rule,
+                f.severity,
+                json_escape(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for LintReport {
@@ -389,6 +432,33 @@ mod tests {
         let report = lint(&b.build().unwrap());
         assert_eq!(report.worst(), Some(Severity::Info));
         assert_eq!(report.count(Severity::Info), 1);
+    }
+
+    #[test]
+    fn json_report_mirrors_findings() {
+        let mut b = CircuitBuilder::new(2);
+        let l1 = b.add_latch("L1", p(1), 1.0, 2.0);
+        let l2 = b.add_latch("L2", p(2), 1.0, 2.0);
+        b.add_latch("orphan", p(1), 1.0, 2.0);
+        b.connect(l1, l2, 5.0);
+        b.connect(l2, l1, 5.0);
+        let json = lint(&b.build().unwrap()).to_json();
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"warnings\": 1"));
+        assert!(json.contains("\"rule\": \"unconstrained-sync\""));
+        assert!(json.contains("orphan"));
+    }
+
+    #[test]
+    fn json_report_of_clean_circuit_is_clean() {
+        let mut b = CircuitBuilder::new(2);
+        let l1 = b.add_latch("L1", p(1), 1.0, 2.0);
+        let l2 = b.add_latch("L2", p(2), 1.0, 2.0);
+        b.connect(l1, l2, 5.0);
+        b.connect(l2, l1, 5.0);
+        let json = lint(&b.build().unwrap()).to_json();
+        assert!(json.contains("\"clean\": true"));
+        assert!(json.contains("\"errors\": 0"));
     }
 
     #[test]

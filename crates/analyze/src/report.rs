@@ -1,0 +1,486 @@
+//! `smo analyze` — the constraint-system report.
+//!
+//! One pass that cross-checks the three views of a circuit's cycle time:
+//!
+//! 1. the **combinatorial bracket** `lower ≤ Tc* ≤ upper` from
+//!    [`smo_core::cycle_time_bounds`] (no LP),
+//! 2. the **LP optimum** solved through the presolve pipeline
+//!    ([`Problem::solve_with_presolve`](smo_lp::Problem::solve_with_presolve)),
+//! 3. the **LP optimum without presolve**, as a soundness witness.
+//!
+//! The three must agree — the bracket must contain the optimum and the two
+//! solves must return the same objective — or [`analyze`] returns a hard
+//! [`AnalyzeError`] rather than a report: a disagreement means a bug in the
+//! bound derivation or the presolve reductions, not in the circuit.
+//!
+//! The report also names, family by family (the paper's C1–C3 clock rows,
+//! L1 setup, L2R propagation, flip-flop rows), which constraints presolve
+//! removed before the simplex ran.
+
+use smo_circuit::Circuit;
+use smo_core::{cycle_time_bounds, ConstraintKind, CycleTimeBounds, TimingError, TimingModel};
+use smo_lp::{LpError, PresolveOptions, PresolveStats, RowFate, SimplexVariant};
+use std::fmt;
+
+/// Objective agreement tolerance between the presolved and plain solves.
+/// On the shipped circuits the two paths are bit-identical; the tolerance
+/// only guards against platform-dependent rounding on exotic inputs.
+const AGREE_TOL: f64 = 1e-9;
+
+/// The paper-facing constraint families used for the removal breakdown.
+/// Ordered as they appear in §III of the paper.
+const FAMILIES: [&str; 8] = [
+    "C1",
+    "C2",
+    "C3",
+    "L1",
+    "L2R",
+    "FF setup",
+    "FF departure",
+    "extra",
+];
+
+/// Maps a row's provenance to its paper family (index into [`FAMILIES`]).
+fn family_index(kind: ConstraintKind) -> usize {
+    match kind {
+        ConstraintKind::PeriodicityWidth | ConstraintKind::PeriodicityStart => 0,
+        ConstraintKind::PhaseOrder => 1,
+        ConstraintKind::PhaseNonoverlap => 2,
+        ConstraintKind::Setup => 3,
+        ConstraintKind::Propagation => 4,
+        ConstraintKind::FlipFlopSetup => 5,
+        ConstraintKind::FlipFlopDeparture => 6,
+        ConstraintKind::MinWidth
+        | ConstraintKind::CycleBound
+        | ConstraintKind::SymmetricClock
+        | ConstraintKind::PinnedDeparture => 7,
+    }
+}
+
+/// Why [`analyze`] could not produce a report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyzeError {
+    /// Building or solving the timing model failed.
+    Timing(String),
+    /// The LP optimum fell outside the combinatorial bracket — an internal
+    /// soundness failure (bug in the bounds or the model), never a property
+    /// of the circuit.
+    BoundsDisagree {
+        /// Certified combinatorial lower bound.
+        lower: f64,
+        /// Certified combinatorial upper bound.
+        upper: f64,
+        /// The LP optimum that escaped the bracket.
+        optimum: f64,
+    },
+    /// The presolved and plain solves returned different optima — an
+    /// internal soundness failure in the presolve/postsolve pair.
+    PresolveDisagree {
+        /// Optimum through the presolve pipeline.
+        with_presolve: f64,
+        /// Optimum of the untouched problem.
+        without_presolve: f64,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Timing(reason) => write!(f, "{reason}"),
+            AnalyzeError::BoundsDisagree {
+                lower,
+                upper,
+                optimum,
+            } => write!(
+                f,
+                "soundness failure: LP optimum {optimum} escapes the certified \
+                 combinatorial bracket [{lower}, {upper}]"
+            ),
+            AnalyzeError::PresolveDisagree {
+                with_presolve,
+                without_presolve,
+            } => write!(
+                f,
+                "soundness failure: presolved solve returned {with_presolve} but the \
+                 plain solve returned {without_presolve}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl From<TimingError> for AnalyzeError {
+    fn from(e: TimingError) -> Self {
+        AnalyzeError::Timing(e.to_string())
+    }
+}
+
+impl From<LpError> for AnalyzeError {
+    fn from(e: LpError) -> Self {
+        AnalyzeError::Timing(e.to_string())
+    }
+}
+
+/// The `smo analyze` report: bracket, LP optimum, and presolve breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeReport {
+    /// Synchronizer count of the circuit.
+    pub num_syncs: usize,
+    /// Combinational path count of the circuit.
+    pub num_edges: usize,
+    /// Clock phase count of the circuit.
+    pub num_phases: usize,
+    /// The combinatorial bracket and its per-SCC critical cycles.
+    pub bounds: CycleTimeBounds,
+    /// Names of the synchronizers on each critical cycle, one string per
+    /// cyclic SCC, in the same (decreasing-ratio) order as
+    /// `bounds.critical`.
+    pub critical_names: Vec<String>,
+    /// The LP optimum `Tc*`, solved through the presolve pipeline and
+    /// cross-checked against the plain solve.
+    pub optimum: f64,
+    /// `optimum == bounds.lower` up to `1e-6` relative — the bracket is
+    /// tight and the critical cycle alone determines the cycle time.
+    pub lower_is_tight: bool,
+    /// Row/variable reduction counters from presolve.
+    pub presolve: PresolveStats,
+    /// Rows removed by presolve per paper family, in §III order:
+    /// C1, C2, C3, L1, L2R, FF setup, FF departure, extra.
+    pub removed_by_family: Vec<(&'static str, usize)>,
+}
+
+impl AnalyzeReport {
+    /// Total rows presolve removed (any family).
+    pub fn rows_removed(&self) -> usize {
+        self.presolve.rows_removed()
+    }
+
+    /// Renders the report as a JSON object (hand-rolled, schema mirroring
+    /// the `Display` output).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"synchronizers\": {},\n", self.num_syncs));
+        out.push_str(&format!("  \"paths\": {},\n", self.num_edges));
+        out.push_str(&format!("  \"phases\": {},\n", self.num_phases));
+        out.push_str(&format!(
+            "  \"bracket\": {{\"lower\": {}, \"upper\": {}, \"stage_bound\": {}, \"setup_floor\": {}}},\n",
+            self.bounds.lower, self.bounds.upper, self.bounds.stage_bound, self.bounds.setup_floor
+        ));
+        out.push_str("  \"critical_cycles\": [\n");
+        for (i, (c, names)) in self
+            .bounds
+            .critical
+            .iter()
+            .zip(&self.critical_names)
+            .enumerate()
+        {
+            out.push_str(&format!(
+                "    {{\"cycle\": \"{}\", \"delay\": {}, \"wraps\": {}, \"ratio\": {}}}{}\n",
+                json_escape(names),
+                c.weight,
+                c.wraps,
+                c.ratio,
+                if i + 1 < self.bounds.critical.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"optimum\": {},\n", self.optimum));
+        out.push_str(&format!("  \"lower_is_tight\": {},\n", self.lower_is_tight));
+        out.push_str(&format!(
+            "  \"presolve\": {{\"rows_before\": {}, \"rows_after\": {}, \"vars_before\": {}, \
+             \"vars_after\": {}, \"fixed_vars\": {}, \"tightened_bounds\": {}, \"passes\": {}}},\n",
+            self.presolve.rows_before,
+            self.presolve.rows_after,
+            self.presolve.vars_before,
+            self.presolve.vars_after,
+            self.presolve.fixed_vars,
+            self.presolve.tightened_bounds,
+            self.presolve.passes
+        ));
+        out.push_str("  \"removed_by_family\": {");
+        let mut first = true;
+        for (family, n) in &self.removed_by_family {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("\"{}\": {}", json_escape(family), n));
+        }
+        out.push_str("}\n}");
+        out
+    }
+}
+
+impl fmt::Display for AnalyzeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit: {} synchronizer(s), {} path(s), {} phase(s)",
+            self.num_syncs, self.num_edges, self.num_phases
+        )?;
+        writeln!(
+            f,
+            "cycle-time bracket: {} <= Tc* <= {}  (worst flip-flop stage W = {})",
+            self.bounds.lower, self.bounds.upper, self.bounds.stage_bound
+        )?;
+        if self.bounds.critical.is_empty() {
+            writeln!(
+                f,
+                "  no feedback cycles; lower bound from single-row floors"
+            )?;
+        }
+        for (c, names) in self.bounds.critical.iter().zip(&self.critical_names) {
+            writeln!(
+                f,
+                "  critical cycle: {}  (delay {} over {} wrap(s): Tc >= {})",
+                names, c.weight, c.wraps, c.ratio
+            )?;
+        }
+        writeln!(
+            f,
+            "LP optimum: Tc* = {}{}",
+            self.optimum,
+            if self.lower_is_tight {
+                "  (lower bound is tight: the critical cycle sets the clock)"
+            } else {
+                ""
+            }
+        )?;
+        writeln!(f, "presolve: {}", self.presolve)?;
+        let removed: Vec<String> = self
+            .removed_by_family
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(family, n)| format!("{family} x{n}"))
+            .collect();
+        if removed.is_empty() {
+            writeln!(f, "  no rows removed; the model is already irredundant")?;
+        } else {
+            writeln!(f, "  removed by family: {}", removed.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyzes `circuit`: computes the combinatorial bracket, solves the LP
+/// through presolve, cross-checks both against the plain solve, and
+/// reports what presolve removed.
+///
+/// # Errors
+///
+/// [`AnalyzeError::Timing`] when the model cannot be built or solved;
+/// [`AnalyzeError::BoundsDisagree`] / [`AnalyzeError::PresolveDisagree`]
+/// when a soundness cross-check fails (these indicate an internal bug, and
+/// `smo analyze` surfaces them with a distinct exit code).
+pub fn analyze(circuit: &Circuit) -> Result<AnalyzeReport, AnalyzeError> {
+    let model = TimingModel::build(circuit)?;
+
+    // Presolve for the reduction breakdown.
+    let opts = PresolveOptions::default();
+    let pre = model.problem().presolve(&opts);
+    let mut removed = vec![0usize; FAMILIES.len()];
+    for info in model.constraints() {
+        match pre.row_fate(info.row) {
+            RowFate::Kept(_) => {}
+            _ => removed[family_index(info.kind)] += 1,
+        }
+    }
+
+    // Solve twice — through presolve and plain — and insist they agree.
+    let presolved_sol = model
+        .problem()
+        .solve_with_presolve(SimplexVariant::Dense, &opts)?;
+    let with_presolve = match presolved_sol.status() {
+        smo_lp::Status::Optimal => presolved_sol
+            .objective()
+            .expect("optimal solution has an objective"),
+        smo_lp::Status::Infeasible => {
+            return Err(AnalyzeError::Timing(
+                "the clock and latch constraints admit no schedule".into(),
+            ))
+        }
+        smo_lp::Status::Unbounded => return Err(TimingError::Unbounded.into()),
+    };
+    let without_presolve = model.solve_lp()?.objective();
+    if (with_presolve - without_presolve).abs() > AGREE_TOL * (1.0 + without_presolve.abs()) {
+        return Err(AnalyzeError::PresolveDisagree {
+            with_presolve,
+            without_presolve,
+        });
+    }
+
+    // The combinatorial bracket must contain the optimum.
+    let bounds = cycle_time_bounds(circuit);
+    if !bounds.brackets(with_presolve) {
+        return Err(AnalyzeError::BoundsDisagree {
+            lower: bounds.lower,
+            upper: bounds.upper,
+            optimum: with_presolve,
+        });
+    }
+
+    let critical_names = bounds
+        .critical
+        .iter()
+        .map(|c| {
+            let mut names: Vec<&str> = c
+                .cycle
+                .latches
+                .iter()
+                .map(|&l| circuit.sync(l).name.as_str())
+                .collect();
+            if let Some(&first) = names.first() {
+                names.push(first);
+            }
+            names.join(" → ")
+        })
+        .collect();
+    let lower_is_tight = (with_presolve - bounds.lower).abs() <= 1e-6 * (1.0 + bounds.lower.abs());
+
+    Ok(AnalyzeReport {
+        num_syncs: circuit.num_syncs(),
+        num_edges: circuit.num_edges(),
+        num_phases: circuit.num_phases(),
+        bounds,
+        critical_names,
+        optimum: with_presolve,
+        lower_is_tight,
+        presolve: *pre.stats(),
+        removed_by_family: FAMILIES.iter().copied().zip(removed).collect(),
+    })
+}
+
+/// Which paper family a given original LP row belongs to, by provenance.
+/// Exposed for callers that want their own breakdowns over
+/// [`TimingModel::constraints`].
+pub fn constraint_family(kind: ConstraintKind) -> &'static str {
+    FAMILIES[family_index(kind)]
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smo_circuit::{CircuitBuilder, PhaseId};
+
+    fn p(n: usize) -> PhaseId {
+        PhaseId::from_number(n)
+    }
+
+    /// The paper's Example 1 (Fig. 5) at Δ41 = 80 ns; optimum Tc = 110.
+    fn example1() -> Circuit {
+        let mut b = CircuitBuilder::new(2);
+        let l1 = b.add_latch("L1", p(1), 10.0, 10.0);
+        let l2 = b.add_latch("L2", p(2), 10.0, 10.0);
+        let l3 = b.add_latch("L3", p(1), 10.0, 10.0);
+        let l4 = b.add_latch("L4", p(2), 10.0, 10.0);
+        b.connect(l1, l2, 20.0);
+        b.connect(l2, l3, 20.0);
+        b.connect(l3, l4, 60.0);
+        b.connect(l4, l1, 80.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example1_report_is_tight_and_names_the_loop() {
+        let r = analyze(&example1()).unwrap();
+        assert_eq!(r.optimum, 110.0);
+        assert_eq!(r.bounds.lower, 110.0);
+        assert!(r.lower_is_tight);
+        assert_eq!(r.critical_names.len(), 1);
+        assert_eq!(r.critical_names[0], "L1 → L2 → L3 → L4 → L1");
+        let text = r.to_string();
+        assert!(text.contains("110 <= Tc* <= 180"), "{text}");
+        assert!(text.contains("critical cycle: L1 → L2 → L3 → L4 → L1"));
+        assert!(text.contains("lower bound is tight"));
+    }
+
+    #[test]
+    fn flip_flops_feed_the_presolve_breakdown() {
+        // Flip-flop departures are `D = 0` equality singletons: presolve
+        // folds them and the breakdown names the family.
+        let mut b = CircuitBuilder::new(2);
+        let f1 = b.add_flip_flop("F1", p(1), 1.0, 2.0);
+        let f2 = b.add_flip_flop("F2", p(2), 1.0, 2.0);
+        b.connect(f1, f2, 10.0);
+        b.connect(f2, f1, 10.0);
+        let r = analyze(&b.build().unwrap()).unwrap();
+        assert!(r.rows_removed() >= 2, "stats: {}", r.presolve);
+        let ff = r
+            .removed_by_family
+            .iter()
+            .find(|(f, _)| *f == "FF departure")
+            .unwrap();
+        assert!(ff.1 >= 2);
+        assert!(r.to_string().contains("FF departure x"));
+    }
+
+    #[test]
+    fn json_mirrors_the_display_content() {
+        let r = analyze(&example1()).unwrap();
+        let json = r.to_json();
+        assert!(json.contains("\"optimum\": 110"));
+        assert!(json.contains("\"lower\": 110"));
+        assert!(json.contains("\"upper\": 180"));
+        assert!(json.contains("L1 → L2 → L3 → L4 → L1"));
+        assert!(json.contains("\"removed_by_family\""));
+    }
+
+    #[test]
+    fn families_cover_every_constraint_kind() {
+        for kind in [
+            ConstraintKind::PeriodicityWidth,
+            ConstraintKind::PeriodicityStart,
+            ConstraintKind::PhaseOrder,
+            ConstraintKind::PhaseNonoverlap,
+            ConstraintKind::Setup,
+            ConstraintKind::FlipFlopSetup,
+            ConstraintKind::Propagation,
+            ConstraintKind::FlipFlopDeparture,
+            ConstraintKind::MinWidth,
+            ConstraintKind::CycleBound,
+            ConstraintKind::SymmetricClock,
+            ConstraintKind::PinnedDeparture,
+        ] {
+            assert!(FAMILIES.contains(&constraint_family(kind)));
+        }
+        assert_eq!(constraint_family(ConstraintKind::PhaseNonoverlap), "C3");
+        assert_eq!(constraint_family(ConstraintKind::Propagation), "L2R");
+    }
+
+    #[test]
+    fn disagreement_errors_render_distinctly() {
+        let b = AnalyzeError::BoundsDisagree {
+            lower: 10.0,
+            upper: 20.0,
+            optimum: 25.0,
+        };
+        assert!(b.to_string().contains("escapes the certified"));
+        let p = AnalyzeError::PresolveDisagree {
+            with_presolve: 10.0,
+            without_presolve: 11.0,
+        };
+        assert!(p.to_string().contains("presolved solve"));
+    }
+}

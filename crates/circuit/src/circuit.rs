@@ -194,6 +194,19 @@ impl Circuit {
         out
     }
 
+    /// Strongly connected components of the synchronizer graph, in reverse
+    /// topological order (each component's members are in discovery order).
+    ///
+    /// Singleton components without a self-loop are returned too; use
+    /// [`Circuit::has_feedback`] or check for a self-edge to distinguish
+    /// cyclic components.
+    pub fn sccs(&self) -> Vec<Vec<LatchId>> {
+        graph::strongly_connected_components(&self.adjacency())
+            .into_iter()
+            .map(|comp| comp.into_iter().map(LatchId::new).collect())
+            .collect()
+    }
+
     /// Adjacency list over synchronizer indices (parallel edges deduplicated).
     fn adjacency(&self) -> Vec<Vec<usize>> {
         let mut adj = vec![Vec::new(); self.syncs.len()];

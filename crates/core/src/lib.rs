@@ -18,6 +18,10 @@
 //!   (NRIP-like) and single-borrow heuristics for the paper's comparisons.
 //! * **Critical segments** ([`critical_report`]) — binding-constraint/dual
 //!   analysis of which combinational delays set the cycle time (§V).
+//! * **Combinatorial bounds** ([`cycle_time_bounds`]) — a certified bracket
+//!   `lower ≤ Tc* ≤ upper` from the latch graph alone: maximum-ratio
+//!   critical cycles per SCC (the paper's "average delay around the loop",
+//!   §V) against a feasible flip-flop-style schedule, no LP required.
 //! * **Infeasibility diagnosis** ([`diagnose_infeasibility`]) — when extras
 //!   (a capped cycle time, minimum widths, …) over-constrain the model, a
 //!   Farkas-certified irreducible infeasible subsystem names the exact
@@ -61,6 +65,7 @@
 
 mod analysis;
 pub mod baseline;
+mod bounds;
 mod critical;
 mod diagnose;
 mod diagram;
@@ -75,6 +80,7 @@ mod solution;
 pub use analysis::{
     min_cycle_for_shape, verify, verify_with, AnalysisOptions, AnalysisReport, Violation,
 };
+pub use bounds::{cycle_time_bounds, CriticalCycle, CycleTimeBounds};
 pub use critical::{critical_report, CriticalEdge, CriticalReport, CriticalSegment};
 pub use diagnose::{diagnose_infeasibility, DiagnosedConstraint, InfeasibilityReport};
 pub use diagram::{render_schedule, render_solution};

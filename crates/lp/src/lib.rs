@@ -18,7 +18,12 @@
 //!   breakpoints without sweeping),
 //! * infeasibility diagnosis: infeasible solves carry a Farkas certificate
 //!   ([`Solution::farkas`]) and [`extract_iis`] reduces the conflict to an
-//!   irreducible infeasible subsystem of named rows.
+//!   irreducible infeasible subsystem of named rows,
+//! * a presolve layer ([`Problem::presolve`] /
+//!   [`Problem::solve_with_presolve`]) that folds singleton rows into bounds,
+//!   fixes pinned variables and removes redundant or dominated rows before
+//!   the simplex runs, returning a [`Presolved`] bundle whose postsolve map
+//!   reconstructs the full primal/dual solution on the original rows.
 //!
 //! The SMO constraint matrices contain only `0, ±1` entries (§VI), so a dense
 //! f64 tableau with modest tolerances ([`EPS`]) is numerically comfortable.
@@ -53,6 +58,7 @@ mod export;
 mod expr;
 mod iis;
 mod parametric;
+mod presolve;
 mod problem;
 mod revised;
 mod simplex;
@@ -63,6 +69,7 @@ pub use export::write_lp;
 pub use expr::{LinExpr, VarId};
 pub use iis::{certifies_infeasibility, extract_iis, Iis};
 pub use parametric::{parametric_objective, parametric_rhs, ParametricCurve, ParametricSegment};
+pub use presolve::{PresolveOptions, PresolveStats, Presolved, RowFate, VarFate};
 pub use problem::{ConstraintId, Objective, Problem, Sense, SimplexVariant};
 pub use solution::{OptimalSolution, Solution, Status};
 

@@ -12,13 +12,14 @@
 //! smo dot      <netlist>            Graphviz export
 //! smo lp       <netlist>            CPLEX LP-format dump of problem P2
 //! smo lint     <netlist>            structural sanity checks
+//! smo analyze  <netlist>            cycle-time bracket + presolve report
 //! smo diagnose <netlist> [--cycle-time T]   why is there no schedule at T?
 //! ```
 //!
 //! Netlists use the `smo_circuit::netlist` text format; files containing
 //! `gate`/`wire` lines are parsed gate-level and extracted automatically.
 
-use smo::analyze::{diagnose, lint};
+use smo::analyze::{analyze, diagnose, lint, AnalyzeError};
 use smo::circuit::{lump_equivalent_latches, netlist, to_dot, Circuit, ClockSchedule};
 use smo::sim::{monte_carlo, simulate, MonteCarloOptions, SimOptions};
 use smo::timing::{
@@ -47,8 +48,13 @@ const USAGE: &str = "usage:
   smo dot      <netlist>                         Graphviz export
   smo lp       <netlist>                         LP-format dump of problem P2
   smo lump     <netlist>                         bus-lumped netlist (stdout)
-  smo lint     <netlist>                         structural sanity checks
+  smo lint     <netlist> [--json]                structural sanity checks
                                                  (exit 1 on error findings)
+  smo analyze  <netlist> [--json]                combinatorial cycle-time
+                                                 bracket, LP optimum and
+                                                 presolve breakdown; exit 2
+                                                 if the cross-checks disagree
+                                                 (an internal soundness bug)
   smo diagnose <netlist> [--cycle-time T] [--json]
                                                  minimum cycle time, or a
                                                  Farkas-certified explanation
@@ -94,6 +100,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 return Err(format!(
                     "{} phase(s) given but the circuit has {}",
                     starts.len(),
+                    circuit.num_phases()
+                ));
+            }
+            if widths.len() != circuit.num_phases() {
+                return Err(format!(
+                    "{} width(s) given but the circuit has {} phase(s); \
+                     pass one start,width pair per phase",
+                    widths.len(),
                     circuit.num_phases()
                 ));
             }
@@ -170,14 +184,43 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "lint" => {
-            let circuit = load(rest.first().ok_or("missing netlist path")?)?;
+            let (path, json) = path_and_json(rest)?;
+            let circuit = load(&path)?;
             let report = lint(&circuit);
-            println!("{report}");
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                println!("{report}");
+            }
             Ok(if report.has_errors() {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
             })
+        }
+        "analyze" => {
+            let (path, json) = path_and_json(rest)?;
+            let circuit = load(&path)?;
+            match analyze(&circuit) {
+                Ok(report) => {
+                    if json {
+                        println!("{}", report.to_json());
+                    } else {
+                        print!("{report}");
+                    }
+                    Ok(ExitCode::SUCCESS)
+                }
+                // A failed cross-check is not a usage error: report it on
+                // stderr with a distinct exit code and no usage banner.
+                Err(
+                    e @ (AnalyzeError::BoundsDisagree { .. }
+                    | AnalyzeError::PresolveDisagree { .. }),
+                ) => {
+                    eprintln!("analyze error: {e}");
+                    Ok(ExitCode::from(2))
+                }
+                Err(e) => Err(e.to_string()),
+            }
         }
         "diagnose" => {
             let mut path = None;
@@ -265,6 +308,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+/// Parses `<netlist> [--json]` argument lists (any order).
+fn path_and_json(rest: &[String]) -> Result<(String, bool), String> {
+    let mut path = None;
+    let mut json = false;
+    for arg in rest {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok((path.ok_or("missing netlist path")?, json))
 }
 
 /// Loads a netlist file, auto-detecting the gate-level dialect.

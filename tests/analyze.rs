@@ -1,15 +1,24 @@
-//! Integration tests for the static-analysis layer: `lint` over the
-//! shipped netlists, infeasibility diagnosis on over-constrained variants
-//! of the paper's examples, and property tests of IIS minimality.
+//! Integration tests for the static-analysis layer: `lint` and `analyze`
+//! over the shipped netlists, presolve soundness against the plain solve,
+//! infeasibility diagnosis on over-constrained variants of the paper's
+//! examples, and property tests of IIS minimality.
 
 use proptest::prelude::*;
-use smo::analyze::{diagnose, lint, Diagnosis, Rule, Severity};
+use smo::analyze::{analyze, diagnose, lint, Diagnosis, Rule, Severity};
 use smo::circuit::netlist;
 use smo::gen::paper;
 use smo::gen::random::{random_circuit, GenConfig};
-use smo::lp::{certifies_infeasibility, extract_iis, Status};
-use smo::timing::{ConstraintKind, ConstraintOptions, TimingModel};
+use smo::lp::{certifies_infeasibility, extract_iis, PresolveOptions, SimplexVariant, Status};
+use smo::timing::{cycle_time_bounds, ConstraintKind, ConstraintOptions, TimingModel};
 use std::path::Path;
+
+const SHIPPED: [&str; 5] = [
+    "circuits/example1.ckt",
+    "circuits/example2.ckt",
+    "circuits/gaas_mips.ckt",
+    "circuits/appendix_fig1.ckt",
+    "circuits/alu_bypass.ckt",
+];
 
 /// Loads a shipped netlist, auto-detecting the gate-level dialect (same
 /// logic as the CLI).
@@ -29,15 +38,141 @@ fn load(rel: &str) -> smo::circuit::Circuit {
 
 #[test]
 fn lint_is_clean_on_all_shipped_circuits() {
-    for f in [
-        "circuits/example1.ckt",
-        "circuits/example2.ckt",
-        "circuits/gaas_mips.ckt",
-        "circuits/appendix_fig1.ckt",
-        "circuits/alu_bypass.ckt",
-    ] {
+    for f in SHIPPED {
         let report = lint(&load(f));
         assert!(report.is_clean(), "{f} should lint clean but:\n{report}");
+    }
+}
+
+#[test]
+fn analyze_brackets_every_shipped_circuit() {
+    for f in SHIPPED {
+        let circuit = load(f);
+        let r = analyze(&circuit).unwrap_or_else(|e| panic!("{f}: {e}"));
+        assert!(
+            r.bounds.lower <= r.optimum + 1e-9 && r.optimum <= r.bounds.upper + 1e-9,
+            "{f}: optimum {} outside [{}, {}]",
+            r.optimum,
+            r.bounds.lower,
+            r.bounds.upper
+        );
+        assert!(r.bounds.brackets(r.optimum), "{f}");
+    }
+}
+
+#[test]
+fn analyze_lower_bound_is_exact_on_example1() {
+    let r = analyze(&load("circuits/example1.ckt")).unwrap();
+    assert_eq!(r.bounds.lower, r.optimum, "critical loop sets the clock");
+    assert_eq!(r.optimum, 110.0);
+    assert!(r.lower_is_tight);
+}
+
+#[test]
+fn presolve_removes_rows_on_at_least_one_shipped_circuit() {
+    // gaas_mips has flip-flops (their `D = 0` rows are equality singletons)
+    // and same-phase paths (whose C3 self-pair rows duplicate C1 widths).
+    let total: usize = SHIPPED
+        .iter()
+        .map(|f| analyze(&load(f)).unwrap().rows_removed())
+        .sum();
+    assert!(total >= 1, "presolve removed nothing across all circuits");
+    let mips = analyze(&load("circuits/gaas_mips.ckt")).unwrap();
+    assert!(mips.rows_removed() >= 1, "stats: {}", mips.presolve);
+    let ff = mips
+        .removed_by_family
+        .iter()
+        .find(|(f, _)| *f == "FF departure")
+        .expect("family breakdown present");
+    assert!(ff.1 >= 1, "FF departure singletons should fold");
+}
+
+#[test]
+fn presolved_and_plain_solves_agree_on_shipped_circuits() {
+    // When presolve removes nothing the reduced problem *is* the original,
+    // so the two paths are bit-identical by construction. When rows are
+    // removed the smaller simplex takes a different arithmetic path to the
+    // same vertex, so agreement is to the last ulp or two (on gaas_mips the
+    // presolved path returns the exact 4.4 while the plain dense solve
+    // carries one ulp of rounding).
+    for f in SHIPPED {
+        let circuit = load(f);
+        let model = TimingModel::build(&circuit).unwrap();
+        let plain = model.solve_lp().unwrap().objective();
+        let reductions = model
+            .problem()
+            .presolve(&PresolveOptions::default())
+            .stats()
+            .rows_removed();
+        for variant in [SimplexVariant::Dense, SimplexVariant::Revised] {
+            let pre = model
+                .problem()
+                .solve_with_presolve(variant, &PresolveOptions::default())
+                .unwrap()
+                .objective()
+                .expect("optimal");
+            if reductions == 0 && variant == SimplexVariant::Dense {
+                assert_eq!(pre, plain, "{f}: no-op presolve must be bit-identical");
+            } else {
+                assert!(
+                    (pre - plain).abs() <= 2.0 * f64::EPSILON * (1.0 + plain.abs()),
+                    "{f} with {variant:?}: presolved {pre} vs plain {plain}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn presolve_path_preserves_the_infeasibility_diagnosis() {
+    // Over-constrained Example 1 (Tc ≤ 100 < 110): the presolve entry
+    // point must surface the same Farkas certificate and the same IIS as
+    // the plain solve, referencing original row ids.
+    let circuit = paper::example1(80.0);
+    let opts = ConstraintOptions {
+        max_cycle: Some(100.0),
+        ..Default::default()
+    };
+    let model = TimingModel::build_with(&circuit, &opts).unwrap();
+    let p = model.problem();
+
+    let plain = p.solve().unwrap();
+    let pre = p
+        .solve_with_presolve(SimplexVariant::Dense, &PresolveOptions::default())
+        .unwrap();
+    assert_eq!(plain.status(), Status::Infeasible);
+    assert_eq!(pre.status(), Status::Infeasible);
+    let y = pre.farkas().expect("infeasible solves carry a certificate");
+    assert!(certifies_infeasibility(p, y));
+    assert_eq!(plain.farkas(), pre.farkas(), "certificates must agree");
+
+    let iis = extract_iis(p).unwrap().expect("model is infeasible");
+    let d = diagnose(&circuit, Some(100.0)).unwrap();
+    let report = d.report().expect("infeasible");
+    let mut from_iis = iis.rows().to_vec();
+    let mut from_diagnose = report.rows();
+    from_iis.sort_by_key(|c| c.index());
+    from_diagnose.sort_by_key(|c| c.index());
+    assert_eq!(from_iis, from_diagnose, "IIS must match the diagnosis");
+}
+
+#[test]
+fn combinatorial_bounds_bracket_the_shipped_optima() {
+    for f in SHIPPED {
+        let circuit = load(f);
+        let bounds = cycle_time_bounds(&circuit);
+        let tc = TimingModel::build(&circuit)
+            .unwrap()
+            .solve_lp()
+            .unwrap()
+            .objective();
+        assert!(
+            bounds.brackets(tc),
+            "{f}: Tc {} outside [{}, {}]",
+            tc,
+            bounds.lower,
+            bounds.upper
+        );
     }
 }
 

@@ -153,6 +153,114 @@ fn lint_flags_a_bad_netlist_and_fails() {
 }
 
 #[test]
+fn analyze_reports_bracket_and_critical_cycle() {
+    let out = smo(&["analyze", "circuits/example1.ckt"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("cycle-time bracket: 110 <= Tc* <= 180"),
+        "{text}"
+    );
+    assert!(
+        text.contains("critical cycle: L1 → L2 → L3 → L4 → L1"),
+        "{text}"
+    );
+    assert!(text.contains("LP optimum: Tc* = 110"), "{text}");
+    assert!(text.contains("lower bound is tight"), "{text}");
+    assert!(text.contains("presolve:"), "{text}");
+}
+
+#[test]
+fn analyze_reports_presolve_removals_on_gaas_mips() {
+    let out = smo(&["analyze", "circuits/gaas_mips.ckt"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("removed by family:"), "{text}");
+    assert!(text.contains("FF departure x"), "{text}");
+}
+
+#[test]
+fn analyze_succeeds_on_every_shipped_netlist() {
+    for f in [
+        "circuits/example1.ckt",
+        "circuits/example2.ckt",
+        "circuits/gaas_mips.ckt",
+        "circuits/appendix_fig1.ckt",
+        "circuits/alu_bypass.ckt",
+    ] {
+        let out = smo(&["analyze", f]);
+        assert!(
+            out.status.success(),
+            "{f}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(stdout(&out).contains("cycle-time bracket:"), "{f}");
+    }
+}
+
+#[test]
+fn analyze_json_is_well_formed() {
+    let out = smo(&["analyze", "circuits/example1.ckt", "--json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.trim_start().starts_with('{'), "{text}");
+    assert!(text.trim_end().ends_with('}'), "{text}");
+    assert!(text.contains("\"optimum\": 110"), "{text}");
+    assert!(text.contains("\"lower\": 110"), "{text}");
+    assert!(text.contains("\"upper\": 180"), "{text}");
+    assert!(text.contains("\"removed_by_family\""), "{text}");
+}
+
+#[test]
+fn analyze_rejects_bad_arguments() {
+    let out = smo(&["analyze"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing netlist path"));
+
+    let out = smo(&["analyze", "circuits/example1.ckt", "--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected argument"));
+}
+
+#[test]
+fn lint_supports_json_output() {
+    let out = smo(&["lint", "circuits/example1.ckt", "--json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("\"clean\": true"), "{text}");
+    assert!(text.contains("\"errors\": 0"), "{text}");
+
+    let dir = tempdir();
+    let path = dir.join("bad-json.ckt");
+    std::fs::write(
+        &path,
+        "clock 2\nlatch A phase=1 setup=0 dq=0\nlatch B phase=2 setup=0 dq=0\n\
+         path A B delay=0\npath B A delay=0\n",
+    )
+    .expect("writable");
+    let out = smo(&["lint", path.to_str().expect("utf-8"), "--json"]);
+    assert!(!out.status.success(), "error findings must exit non-zero");
+    let text = stdout(&out);
+    assert!(text.contains("\"clean\": false"), "{text}");
+    assert!(text.contains("\"rule\": \"zero-delay-loop\""), "{text}");
+}
+
+#[test]
+fn verify_rejects_wrong_schedule_arity() {
+    let out = smo(&["verify", "circuits/example1.ckt", "110", "0,60"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("1 phase(s) given but the circuit has 2"),
+        "{err}"
+    );
+}
+
+#[test]
 fn diagnose_reports_optimum_when_uncapped() {
     let out = smo(&["diagnose", "circuits/example1.ckt"]);
     assert!(out.status.success());
