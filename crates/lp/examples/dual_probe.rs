@@ -1,0 +1,24 @@
+use smo_lp::{LinExpr, PresolveOptions, Problem, Sense, SimplexVariant};
+
+fn main() {
+    // x in [0,3], y in [0,20], x + y >= 10, min y.
+    // Activity tightening derives y >= 7; if that tightened bound is binding
+    // in the reduced problem, where does the multiplier go after postsolve?
+    let mut p = Problem::new();
+    let x = p.add_var_bounded("x", 0.0, 3.0);
+    let y = p.add_var_bounded("y", 0.0, 20.0);
+    let c = p.constrain(x + y, Sense::Ge, 10.0);
+    p.minimize(LinExpr::from(y));
+
+    let plain = p.solve().unwrap();
+    let pre = p
+        .solve_with_presolve(SimplexVariant::Dense, &PresolveOptions::default())
+        .unwrap();
+    println!("plain : obj={:?} y_dual_row={} rc_x={} rc_y={}",
+        plain.objective(), plain.duals()[c.index()], plain.reduced_costs()[0], plain.reduced_costs()[1]);
+    println!("presol: obj={:?} y_dual_row={} rc_x={} rc_y={}",
+        pre.objective(), pre.duals()[c.index()], pre.reduced_costs()[0], pre.reduced_costs()[1]);
+    println!("values plain={:?} presolve={:?}", plain.values(), pre.values());
+    // KKT check on original: c_j - sum_i dual_i * a_ij should equal rc_j,
+    // and rc_j must be 0 unless the ORIGINAL bound of j is active.
+}
