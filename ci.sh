@@ -15,10 +15,20 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, -D warnings)"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
+echo "==> cargo clippy unwrap/expect audit (lp + core, warn-level)"
+# The numerical kernels must not panic on pathological inputs: surface
+# every unwrap/expect in non-test code for review. Warn-level (not -D):
+# the remaining sites are audited, documented panics.
+cargo clippy -q -p smo-lp -p smo-core --lib -- \
+  -W clippy::unwrap_used -W clippy::expect_used
+
 echo "==> cargo test"
 cargo test -q
 
-echo "==> smo lint + smo analyze over circuits/*.ckt"
+echo "==> stress harness (pathological circuits, both simplex variants)"
+cargo test -q --test stress
+
+echo "==> smo lint + smo analyze + certified smo solve over circuits/*.ckt"
 # `lint` exits non-zero on error-severity findings; `analyze` exits 2 when
 # the combinatorial bracket, the presolved solve and the plain solve
 # disagree (an internal soundness bug). Either failure fails CI.
@@ -27,6 +37,10 @@ for ckt in circuits/*.ckt; do
   echo "--- $ckt"
   ./target/release/smo lint "$ckt"
   ./target/release/smo analyze "$ckt"
+  # Every shipped netlist must solve with every LP verdict independently
+  # KKT-checked (exit 0 and an explicit `certified: true` line). Plain
+  # grep (not -q): -q closes the pipe early and breaks the writer.
+  ./target/release/smo solve "$ckt" | grep "certified: true" > /dev/null
 done
 
 echo "CI OK"

@@ -148,6 +148,11 @@ pub struct AnalyzeReport {
     /// Rows removed by presolve per paper family, in §III order:
     /// C1, C2, C3, L1, L2R, FF setup, FF departure, extra.
     pub removed_by_family: Vec<(&'static str, usize)>,
+    /// Independent KKT certificate for the plain cross-check solve: the
+    /// reported optimum is not just "what the simplex said" but has been
+    /// re-verified from the raw constraint data (primal/dual feasibility,
+    /// complementary slackness, duality gap).
+    pub certificate: Option<smo_lp::Certificate>,
 }
 
 impl AnalyzeReport {
@@ -190,6 +195,25 @@ impl AnalyzeReport {
         }
         out.push_str("  ],\n");
         out.push_str(&format!("  \"optimum\": {},\n", self.optimum));
+        match &self.certificate {
+            Some(cert) => {
+                out.push_str("  \"certificate\": {");
+                out.push_str(&format!(
+                    "\"valid\": {}, \"tolerance\": {:e}, \"worst_residual\": {:e}, \"residuals\": {{",
+                    cert.is_valid(),
+                    cert.tol(),
+                    cert.worst()
+                ));
+                for (j, (name, value)) in cert.residuals().iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\": {:e}", json_escape(name), value));
+                }
+                out.push_str("}},\n");
+            }
+            None => out.push_str("  \"certificate\": null,\n"),
+        }
         out.push_str(&format!("  \"lower_is_tight\": {},\n", self.lower_is_tight));
         out.push_str(&format!(
             "  \"presolve\": {{\"rows_before\": {}, \"rows_after\": {}, \"vars_before\": {}, \
@@ -251,6 +275,9 @@ impl fmt::Display for AnalyzeReport {
                 ""
             }
         )?;
+        if let Some(cert) = &self.certificate {
+            writeln!(f, "  {cert}")?;
+        }
         writeln!(f, "presolve: {}", self.presolve)?;
         let removed: Vec<String> = self
             .removed_by_family
@@ -306,7 +333,11 @@ pub fn analyze(circuit: &Circuit) -> Result<AnalyzeReport, AnalyzeError> {
         }
         smo_lp::Status::Unbounded => return Err(TimingError::Unbounded.into()),
     };
-    let without_presolve = model.solve_lp()?.objective();
+    // The plain solve doubles as the certified witness: its verdict is
+    // re-verified from the raw constraint data (walking the numerical
+    // recovery ladder if the first attempt does not certify).
+    let (plain_sol, certificate) = model.solve_lp_certified(&smo_lp::RecoveryPolicy::default())?;
+    let without_presolve = plain_sol.objective();
     if (with_presolve - without_presolve).abs() > AGREE_TOL * (1.0 + without_presolve.abs()) {
         return Err(AnalyzeError::PresolveDisagree {
             with_presolve,
@@ -352,6 +383,7 @@ pub fn analyze(circuit: &Circuit) -> Result<AnalyzeReport, AnalyzeError> {
         lower_is_tight,
         presolve: *pre.stats(),
         removed_by_family: FAMILIES.iter().copied().zip(removed).collect(),
+        certificate: Some(certificate),
     })
 }
 
@@ -445,6 +477,18 @@ mod tests {
         assert!(json.contains("\"upper\": 180"));
         assert!(json.contains("L1 → L2 → L3 → L4 → L1"));
         assert!(json.contains("\"removed_by_family\""));
+    }
+
+    #[test]
+    fn report_carries_a_valid_certificate() {
+        let r = analyze(&example1()).unwrap();
+        let cert = r.certificate.as_ref().expect("cross-check is certified");
+        assert!(cert.is_valid(), "{cert}");
+        assert!(r.to_string().contains("certified optimal"));
+        let json = r.to_json();
+        assert!(json.contains("\"certificate\": {\"valid\": true"), "{json}");
+        assert!(json.contains("\"worst_residual\""), "{json}");
+        assert!(json.contains("\"duality gap\""), "{json}");
     }
 
     #[test]

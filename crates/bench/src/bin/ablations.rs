@@ -252,6 +252,63 @@ fn main() {
             );
         }
     }
+
+    smo_bench::header("Ablation 7 — certification + recovery-ladder overhead (650-row scale)");
+    println!(
+        "{}",
+        smo_bench::row(
+            &[
+                "variant",
+                "plain (ms)",
+                "certified (ms)",
+                "overhead",
+                "rungs"
+            ],
+            &[8, 11, 15, 9, 6]
+        )
+    );
+    for variant in [SimplexVariant::Dense, SimplexVariant::Revised] {
+        let mut tc_plain = 0.0;
+        let t_plain = ms(|| {
+            tc_plain = model
+                .problem()
+                .solve_with(variant)
+                .expect("solves")
+                .objective()
+                .expect("optimal");
+        });
+        let policy = smo_lp::RecoveryPolicy {
+            variant,
+            ..Default::default()
+        };
+        let mut tc_cert = 0.0;
+        let mut rungs = 0usize;
+        let t_cert = ms(|| {
+            let certified = model.problem().solve_certified(&policy).expect("certifies");
+            tc_cert = certified
+                .solution()
+                .objective()
+                .expect("certified optimum has an objective");
+            rungs = certified.steps().len();
+        });
+        assert!(
+            (tc_plain - tc_cert).abs() < 1e-9 * (1.0 + tc_plain.abs()),
+            "certification changed the optimum: {tc_plain} vs {tc_cert}"
+        );
+        println!(
+            "{}",
+            smo_bench::row(
+                &[
+                    &format!("{variant:?}"),
+                    &format!("{t_plain:.2}"),
+                    &format!("{t_cert:.2}"),
+                    &format!("{:+.1}%", (t_cert / t_plain - 1.0) * 100.0),
+                    &format!("{rungs}"),
+                ],
+                &[8, 11, 15, 9, 6],
+            )
+        );
+    }
 }
 
 fn summary(s: &smo_circuit::ClockSchedule) -> String {

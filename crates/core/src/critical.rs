@@ -120,8 +120,7 @@ pub fn critical_report(
     }
     edges.sort_by(|a, b| {
         b.sensitivity
-            .partial_cmp(&a.sensitivity)
-            .expect("sensitivities are finite")
+            .total_cmp(&a.sensitivity)
             .then(a.edge.cmp(&b.edge))
     });
 

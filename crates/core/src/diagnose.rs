@@ -335,9 +335,14 @@ pub fn diagnose_infeasibility(
         Status::Infeasible => {}
     }
     let certified = sol.farkas().is_some_and(|y| certifies_infeasibility(p, y));
-    let iis = extract_iis(p)
-        .map_err(TimingError::Lp)?
-        .expect("status was Infeasible, so an IIS exists");
+    let Some(iis) = extract_iis(p).map_err(TimingError::Lp)? else {
+        // The deletion filter re-solves reduced models; on a marginally
+        // infeasible system round-off can flip one of them feasible and
+        // leave no IIS even though the full solve said Infeasible.
+        return Err(TimingError::Lp(smo_lp::LpError::Numerical {
+            context: "infeasible model yielded no irreducible subsystem".into(),
+        }));
+    };
     let constraints = iis
         .rows()
         .iter()

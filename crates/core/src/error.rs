@@ -35,6 +35,11 @@ pub enum TimingError {
     NotConverged {
         /// Iterations performed before giving up.
         iterations: usize,
+        /// The trailing per-sweep residual trajectory (largest departure
+        /// movement per sweep): growing residuals indicate a positive-gain
+        /// loop, residuals hovering near the fixpoint tolerance indicate a
+        /// numerical problem in the schedule.
+        residuals: Vec<f64>,
     },
 }
 
@@ -50,10 +55,24 @@ impl fmt::Display for TimingError {
             TimingError::InvalidOptions { reason } => {
                 write!(f, "invalid options: {reason}")
             }
-            TimingError::NotConverged { iterations } => write!(
-                f,
-                "departure fixpoint did not converge after {iterations} iterations"
-            ),
+            TimingError::NotConverged {
+                iterations,
+                residuals,
+            } => {
+                write!(
+                    f,
+                    "departure fixpoint did not converge after {iterations} iterations"
+                )?;
+                if !residuals.is_empty() {
+                    let traj = residuals
+                        .iter()
+                        .map(|r| format!("{r:.3e}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    write!(f, " (trailing residuals: {traj})")?;
+                }
+                Ok(())
+            }
         }
     }
 }

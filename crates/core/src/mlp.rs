@@ -48,6 +48,19 @@ pub struct MlpOptions {
     /// Which simplex implementation solves the LPs (dense tableau or
     /// sparse revised; identical results, different scaling).
     pub simplex: smo_lp::SimplexVariant,
+    /// When `true` (the default), every LP verdict is independently
+    /// machine-checked via [`smo_lp::Problem::solve_certified`]: an
+    /// `Optimal` answer carries a KKT [`Certificate`](smo_lp::Certificate)
+    /// (see [`TimingSolution::certificates`](crate::TimingSolution)), a
+    /// failed check walks the numerical recovery ladder, and exhaustion
+    /// surfaces as a structured error instead of a silently-wrong cycle
+    /// time.
+    pub certify: bool,
+    /// Wall-clock budget for all LP solving (`None` = unlimited). Only
+    /// honored on the certified path; checked inside the simplex pivot
+    /// loops, so even a pathological model returns
+    /// [`smo_lp::LpError::Budget`] promptly.
+    pub time_limit: Option<std::time::Duration>,
 }
 
 impl Default for MlpOptions {
@@ -57,7 +70,23 @@ impl Default for MlpOptions {
             update: UpdateMode::default(),
             canonicalize: true,
             simplex: smo_lp::SimplexVariant::default(),
+            certify: true,
+            time_limit: None,
         }
+    }
+}
+
+impl MlpOptions {
+    /// The [`smo_lp::RecoveryPolicy`] these options induce, or `None` when
+    /// certification is off.
+    fn policy(&self) -> Option<smo_lp::RecoveryPolicy> {
+        self.certify.then(|| smo_lp::RecoveryPolicy {
+            variant: self.simplex,
+            budget: match self.time_limit {
+                Some(limit) => smo_lp::SolveBudget::with_time_limit(limit),
+                None => smo_lp::SolveBudget::UNLIMITED,
+            },
+        })
     }
 }
 
@@ -106,10 +135,23 @@ pub fn min_cycle_time_with(
     options: &MlpOptions,
 ) -> Result<TimingSolution, TimingError> {
     let model = TimingModel::build_with(circuit, &options.constraints)?;
+    let policy = options.policy();
     if options.canonicalize {
-        solve_model_canonical_with(circuit, &model, options.update, options.simplex)
+        canonical_inner(
+            circuit,
+            &model,
+            options.update,
+            options.simplex,
+            policy.as_ref(),
+        )
     } else {
-        solve_model_with(circuit, &model, options.update, options.simplex)
+        model_inner(
+            circuit,
+            &model,
+            options.update,
+            options.simplex,
+            policy.as_ref(),
+        )
     }
 }
 
@@ -140,7 +182,24 @@ pub fn solve_model_canonical_with(
     update: UpdateMode,
     variant: smo_lp::SimplexVariant,
 ) -> Result<TimingSolution, TimingError> {
-    let first = model.solve_lp_with(variant)?;
+    canonical_inner(circuit, model, update, variant, None)
+}
+
+/// Canonicalizing pipeline shared by the certified and plain paths.
+fn canonical_inner(
+    circuit: &Circuit,
+    model: &TimingModel,
+    update: UpdateMode,
+    variant: smo_lp::SimplexVariant,
+    policy: Option<&smo_lp::RecoveryPolicy>,
+) -> Result<TimingSolution, TimingError> {
+    let (first, mut certificates) = match policy {
+        Some(pol) => {
+            let (sol, cert) = model.solve_lp_certified(pol)?;
+            (sol, vec![cert])
+        }
+        None => (model.solve_lp_with(variant)?, Vec::new()),
+    };
     let tc_opt = first.objective();
 
     let mut refined = model.clone();
@@ -155,16 +214,26 @@ pub fn solve_model_canonical_with(
         }
         p.minimize(secondary);
     }
-    match solve_model_with(circuit, &refined, update, variant) {
+    match model_inner(circuit, &refined, update, variant, policy) {
         Ok(mut solution) => {
             solution.num_constraints = model.num_constraints();
             solution.lp_iterations += first.iterations();
+            // Both certificates travel with the solution: the cycle-time
+            // solve first, the canonicalizing re-solve second.
+            certificates.append(&mut solution.certificates);
+            solution.certificates = certificates;
             Ok(solution)
         }
         // Fixing Tc at the float optimum can, in principle, be defeated by
         // round-off; fall back to the (correct, just non-canonical) first
-        // solution rather than fail.
-        Err(TimingError::Infeasible { .. }) => solve_model_with(circuit, model, update, variant),
+        // solution rather than fail. On the certified path a marginally
+        // infeasible pin surfaces as `CertificationFailed` instead (the
+        // Farkas check rightly refuses to confirm a round-off
+        // infeasibility), so that exhaustion gets the same fallback.
+        Err(TimingError::Infeasible { .. })
+        | Err(TimingError::Lp(smo_lp::LpError::CertificationFailed { .. })) => {
+            model_inner(circuit, model, update, variant, policy)
+        }
         Err(e) => Err(e),
     }
 }
@@ -195,8 +264,25 @@ pub fn solve_model_with(
     update: UpdateMode,
     variant: smo_lp::SimplexVariant,
 ) -> Result<TimingSolution, TimingError> {
+    model_inner(circuit, model, update, variant, None)
+}
+
+/// Steps 1–2 of Algorithm MLP, optionally on the certified LP path.
+fn model_inner(
+    circuit: &Circuit,
+    model: &TimingModel,
+    update: UpdateMode,
+    variant: smo_lp::SimplexVariant,
+    policy: Option<&smo_lp::RecoveryPolicy>,
+) -> Result<TimingSolution, TimingError> {
     // Step 1: LP.
-    let lp = model.solve_lp_with(variant)?;
+    let (lp, certificates) = match policy {
+        Some(pol) => {
+            let (sol, cert) = model.solve_lp_certified(pol)?;
+            (sol, vec![cert])
+        }
+        None => (model.solve_lp_with(variant)?, Vec::new()),
+    };
     let schedule = model.extract_schedule(&lp)?;
     let d0 = model.extract_departures(&lp);
 
@@ -216,6 +302,7 @@ pub fn solve_model_with(
     if !result.converged {
         return Err(TimingError::NotConverged {
             iterations: result.iterations,
+            residuals: result.residuals,
         });
     }
     let arrivals = system.arrivals(&result.departures);
@@ -226,6 +313,7 @@ pub fn solve_model_with(
         update_iterations: result.iterations,
         lp_iterations: lp.iterations(),
         num_constraints: model.num_constraints(),
+        certificates,
     })
 }
 

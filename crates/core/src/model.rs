@@ -678,10 +678,48 @@ impl TimingModel {
     ) -> Result<OptimalSolution, TimingError> {
         let sol = self.problem.solve_with(variant)?;
         match sol.status() {
-            smo_lp::Status::Optimal => Ok(sol.into_optimal().expect("status checked")),
+            smo_lp::Status::Optimal => Ok(sol.into_optimal()?),
             smo_lp::Status::Infeasible => Err(TimingError::Infeasible {
                 reason: "the clock and latch constraints admit no schedule \
                          (check fixed/max cycle time and minimum width options)"
+                    .into(),
+            }),
+            smo_lp::Status::Unbounded => Err(TimingError::Unbounded),
+        }
+    }
+
+    /// Like [`TimingModel::solve_lp_with`], but the verdict is
+    /// independently machine-checked: the solve walks the numerical
+    /// recovery ladder of
+    /// [`Problem::solve_certified`](smo_lp::Problem::solve_certified)
+    /// (alternate simplex variant, geometric-mean equilibration, one round
+    /// of iterative refinement) until a certificate of optimality —
+    /// evaluated against the original, unscaled constraint rows — passes.
+    ///
+    /// # Errors
+    ///
+    /// As [`TimingModel::solve_lp`], plus
+    /// [`smo_lp::LpError::CertificationFailed`] (wrapped in
+    /// [`TimingError::Lp`]) when no rung of the ladder certifies, and
+    /// [`smo_lp::LpError::Budget`] when the policy's budget runs out.
+    pub fn solve_lp_certified(
+        &self,
+        policy: &smo_lp::RecoveryPolicy,
+    ) -> Result<(OptimalSolution, smo_lp::Certificate), TimingError> {
+        let certified = self.problem.solve_certified(policy)?;
+        match certified.status() {
+            smo_lp::Status::Optimal => {
+                let Some(cert) = certified.certificate().cloned() else {
+                    return Err(TimingError::Lp(smo_lp::LpError::Numerical {
+                        context: "certified solve returned optimal without a certificate".into(),
+                    }));
+                };
+                Ok((certified.into_solution().into_optimal()?, cert))
+            }
+            smo_lp::Status::Infeasible => Err(TimingError::Infeasible {
+                reason: "the clock and latch constraints admit no schedule \
+                         (check fixed/max cycle time and minimum width options); \
+                         infeasibility confirmed by a Farkas certificate"
                     .into(),
             }),
             smo_lp::Status::Unbounded => Err(TimingError::Unbounded),

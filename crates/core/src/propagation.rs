@@ -62,6 +62,24 @@ pub struct FixpointResult {
     pub iterations: usize,
     /// `false` if the safeguard bound was hit before stabilizing.
     pub converged: bool,
+    /// The trailing residual trajectory: the largest departure movement of
+    /// each of the last [`RESIDUAL_WINDOW`] sweeps (or accepted events).
+    /// On non-convergence this distinguishes a genuinely diverging
+    /// iteration (growing residuals — a positive-gain loop) from one
+    /// grinding against the tolerance (residuals hovering near
+    /// `FIXPOINT_TOL` — a numerical problem in the schedule).
+    pub residuals: Vec<f64>,
+}
+
+/// How many trailing per-sweep residuals a [`FixpointResult`] retains.
+pub const RESIDUAL_WINDOW: usize = 16;
+
+/// Rolling push: keeps only the last [`RESIDUAL_WINDOW`] entries.
+fn push_residual(trajectory: &mut Vec<f64>, r: f64) {
+    if trajectory.len() == RESIDUAL_WINDOW {
+        trajectory.remove(0);
+    }
+    trajectory.push(r);
 }
 
 impl PropagationSystem {
@@ -144,20 +162,21 @@ impl PropagationSystem {
     pub fn jacobi(&self, start: &[f64], max_sweeps: usize) -> FixpointResult {
         let mut d = start.to_vec();
         let mut next = vec![0.0; d.len()];
+        let mut residuals = Vec::new();
         for sweep in 0..max_sweeps {
-            let mut changed = false;
+            let mut delta = 0.0f64;
             for i in 0..d.len() {
                 next[i] = self.update(&d, i);
-                if (next[i] - d[i]).abs() > FIXPOINT_TOL {
-                    changed = true;
-                }
+                delta = delta.max((next[i] - d[i]).abs());
             }
             std::mem::swap(&mut d, &mut next);
-            if !changed {
+            push_residual(&mut residuals, delta);
+            if delta <= FIXPOINT_TOL {
                 return FixpointResult {
                     departures: d,
                     iterations: sweep + 1,
                     converged: true,
+                    residuals,
                 };
             }
         }
@@ -165,6 +184,7 @@ impl PropagationSystem {
             departures: d,
             iterations: max_sweeps,
             converged: false,
+            residuals,
         }
     }
 
@@ -172,20 +192,21 @@ impl PropagationSystem {
     /// update immediately sees the sweep's earlier updates.
     pub fn gauss_seidel(&self, start: &[f64], max_sweeps: usize) -> FixpointResult {
         let mut d = start.to_vec();
+        let mut residuals = Vec::new();
         for sweep in 0..max_sweeps {
-            let mut changed = false;
+            let mut delta = 0.0f64;
             for i in 0..d.len() {
                 let v = self.update(&d, i);
-                if (v - d[i]).abs() > FIXPOINT_TOL {
-                    changed = true;
-                }
+                delta = delta.max((v - d[i]).abs());
                 d[i] = v;
             }
-            if !changed {
+            push_residual(&mut residuals, delta);
+            if delta <= FIXPOINT_TOL {
                 return FixpointResult {
                     departures: d,
                     iterations: sweep + 1,
                     converged: true,
+                    residuals,
                 };
             }
         }
@@ -193,6 +214,7 @@ impl PropagationSystem {
             departures: d,
             iterations: max_sweeps,
             converged: false,
+            residuals,
         }
     }
 
@@ -204,6 +226,7 @@ impl PropagationSystem {
         let mut queued = vec![true; n];
         let mut queue: std::collections::VecDeque<usize> = (0..n).collect();
         let mut events = 0usize;
+        let mut residuals = Vec::new();
         while let Some(i) = queue.pop_front() {
             queued[i] = false;
             events += 1;
@@ -212,10 +235,12 @@ impl PropagationSystem {
                     departures: d,
                     iterations: events,
                     converged: false,
+                    residuals,
                 };
             }
             let v = self.update(&d, i);
             if (v - d[i]).abs() > FIXPOINT_TOL {
+                push_residual(&mut residuals, (v - d[i]).abs());
                 d[i] = v;
                 for &dst in &self.outgoing[i] {
                     if !queued[dst] {
@@ -229,6 +254,7 @@ impl PropagationSystem {
             departures: d,
             iterations: events,
             converged: true,
+            residuals,
         }
     }
 
@@ -285,6 +311,7 @@ impl PropagationSystem {
                     departures: e,
                     iterations: sweep + 1,
                     converged: true,
+                    residuals: Vec::new(),
                 };
             }
         }
@@ -292,6 +319,7 @@ impl PropagationSystem {
             departures: e,
             iterations: max_sweeps,
             converged: false,
+            residuals: Vec::new(),
         }
     }
 
@@ -338,6 +366,7 @@ impl PropagationSystem {
                     departures: d,
                     iterations: sweep + 1,
                     converged: true,
+                    residuals: Vec::new(),
                 });
             }
         }

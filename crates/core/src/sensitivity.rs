@@ -94,7 +94,9 @@ pub fn cycle_time_curve(
     let mut base = model.clone();
     let row = base
         .edge_constraint(edge)
-        .expect("every edge has a propagation or FF-setup row");
+        .ok_or_else(|| TimingError::InvalidOptions {
+            reason: format!("edge {edge:?} has no propagation or FF-setup row in this model"),
+        })?;
     // Remove the edge's own delay from the row's RHS so θ = Δ directly.
     let (_, sense, rhs) = base.problem().constraint(row);
     let delta_sign = match sense {

@@ -20,6 +20,9 @@ pub struct TimingSolution {
     /// Number of constraint rows in the LP (the paper reports 91 for the
     /// GaAs example).
     pub(crate) num_constraints: usize,
+    /// Independent optimality certificates for each LP solved on the way
+    /// to this solution (empty when certification was disabled).
+    pub(crate) certificates: Vec<smo_lp::Certificate>,
 }
 
 impl TimingSolution {
@@ -81,6 +84,20 @@ impl TimingSolution {
         self.num_constraints
     }
 
+    /// Independent optimality certificates, one per LP solved on the way
+    /// to this solution (two with canonicalization, one without; empty
+    /// when certification was disabled via
+    /// [`MlpOptions::certify`](crate::MlpOptions)).
+    pub fn certificates(&self) -> &[smo_lp::Certificate] {
+        &self.certificates
+    }
+
+    /// `true` when every LP verdict behind this solution was independently
+    /// machine-checked (at least one certificate present, all valid).
+    pub fn certified(&self) -> bool {
+        !self.certificates.is_empty() && self.certificates.iter().all(|c| c.is_valid())
+    }
+
     /// Absolute departure instant within the cycle: `s_{p_i} + D_i`, for
     /// plotting (the paper's Fig. 6 strips are in absolute time).
     ///
@@ -95,6 +112,9 @@ impl TimingSolution {
 impl fmt::Display for TimingSolution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "optimal Tc = {:.4}", self.cycle_time())?;
+        if self.certified() {
+            write!(f, " [certified]")?;
+        }
         writeln!(
             f,
             "  ({} constraints, {} lp iterations, {} update sweeps)",
@@ -120,6 +140,7 @@ mod tests {
             update_iterations: 2,
             lp_iterations: 9,
             num_constraints: 15,
+            certificates: Vec::new(),
         }
     }
 

@@ -7,7 +7,10 @@
 //!   datapath model of Example 3 (Fig. 10 + Table I), and the appendix
 //!   circuit of Fig. 1;
 //! * [`random`] — seeded random pipelines, rings and multi-phase circuits
-//!   for property tests and scaling benchmarks.
+//!   for property tests and scaling benchmarks;
+//! * [`stress`] — pathological circuits (badly scaled delays, zero-delay
+//!   loops, near-duplicate constraint rows, degenerate ties) for the
+//!   numerical-robustness stress harness.
 //!
 //! ```
 //! let circuit = smo_gen::paper::example1(80.0);
@@ -19,3 +22,4 @@
 
 pub mod paper;
 pub mod random;
+pub mod stress;

@@ -1,0 +1,238 @@
+//! Pathological circuit generators for the numerical stress harness.
+//!
+//! Each generator targets a specific failure mode of floating-point LP
+//! solvers:
+//!
+//! * [`badly_scaled`] — combinational delays spanning fifteen orders of
+//!   magnitude (`1e-6 ..= 1e9`), which wrecks naive absolute tolerances
+//!   and exercises the equilibration rung of the recovery ladder;
+//! * [`zero_delay_loops`] — feedback loops whose wires all have exactly
+//!   zero delay, putting the departure fixpoint and several LP rows right
+//!   on the constraint boundary;
+//! * [`near_duplicate_rows`] — parallel edges whose delays differ by a
+//!   relative `1e-9`, producing pairs of almost linearly dependent
+//!   constraint rows (a classic source of basis ill-conditioning);
+//! * [`degenerate_ties`] — a fully symmetric circuit in which every delay
+//!   is identical, so the LP has massively degenerate vertices and every
+//!   ratio test is a tie.
+//!
+//! All generators are deterministic for a given seed. [`suite`] bundles a
+//! named instance of each for harnesses that want to sweep them all.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smo_circuit::{Circuit, CircuitBuilder, LatchId, PhaseId};
+
+/// A ring of `l` latches over `k` phases with chord edges, where every
+/// combinational delay is drawn log-uniformly from `1e-6 ..= 1e9` and the
+/// latch parameters are similarly tiny (`setup = 1e-4`, `dq = 1e-3`).
+///
+/// The resulting LP mixes rows with right-hand sides of order `1e9` and
+/// rows of order `1e-6`; any solver step that compares residuals against a
+/// fixed absolute tolerance misjudges one end of that range.
+///
+/// # Panics
+///
+/// Panics if `l < 2` or `k < 1`.
+pub fn badly_scaled(l: usize, k: usize, seed: u64) -> Circuit {
+    assert!(l >= 2 && k >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(k);
+    let ids: Vec<LatchId> = (0..l)
+        .map(|i| b.add_latch(format!("B{i}"), PhaseId::new(i % k), 1e-4, 1e-3))
+        .collect();
+    let log_uniform = |rng: &mut StdRng| 10f64.powf(rng.gen_range(-6.0..=9.0));
+    for i in 0..l {
+        let d = log_uniform(&mut rng);
+        b.connect(ids[i], ids[(i + 1) % l], d);
+    }
+    // Chords skipping two positions add shorter cycles with independent
+    // magnitudes, so no single row scaling fixes every row at once.
+    for i in (0..l).step_by(3) {
+        let d = log_uniform(&mut rng);
+        b.connect(ids[i], ids[(i + 2) % l], d);
+    }
+    b.build()
+        .expect("badly scaled circuit is structurally valid")
+}
+
+/// `loops` feedback loops through a shared hub where every other loop is
+/// wired with exactly zero combinational delay (the latch `D→Q` delay is
+/// the only positive term around those loops).
+///
+/// Zero-delay wires place the long-path constraints exactly on the
+/// feasibility boundary, so the optimum sits on a cluster of weakly active
+/// rows — a stress test for complementary-slackness checking.
+///
+/// # Panics
+///
+/// Panics if `loops` is zero or `k` is zero.
+pub fn zero_delay_loops(loops: usize, k: usize, seed: u64) -> Circuit {
+    assert!(loops >= 1 && k >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(k);
+    let hub = b.add_latch("hub", PhaseId::new(0), 0.5, 1.0);
+    for li in 0..loops {
+        let zero_loop = li % 2 == 0;
+        let stages = 2 + (li % 3);
+        let mut prev = hub;
+        for s in 0..stages {
+            let node = b.add_latch(format!("z{li}_{s}"), PhaseId::new((s + 1) % k), 0.5, 1.0);
+            let d = if zero_loop {
+                0.0
+            } else {
+                rng.gen_range(2.0..30.0)
+            };
+            b.connect(prev, node, d);
+            prev = node;
+        }
+        let d = if zero_loop {
+            0.0
+        } else {
+            rng.gen_range(2.0..30.0)
+        };
+        b.connect(prev, hub, d);
+    }
+    b.build()
+        .expect("zero-delay-loop circuit is structurally valid")
+}
+
+/// A closed pipeline of `l` latches in which every stage is wired twice:
+/// once with delay `d` and once with delay `d · (1 + 1e-9)`.
+///
+/// Each duplicated edge contributes a constraint row that is almost
+/// linearly dependent on its twin (identical coefficients, right-hand
+/// sides differing in the 9th digit), the classic recipe for an
+/// ill-conditioned simplex basis.
+///
+/// # Panics
+///
+/// Panics if `l < 2` or `k < 1`.
+pub fn near_duplicate_rows(l: usize, k: usize, seed: u64) -> Circuit {
+    assert!(l >= 2 && k >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(k);
+    let ids: Vec<LatchId> = (0..l)
+        .map(|i| b.add_latch(format!("D{i}"), PhaseId::new(i % k), 1.0, 1.5))
+        .collect();
+    for i in 0..l {
+        let d = rng.gen_range(5.0..40.0);
+        b.connect(ids[i], ids[(i + 1) % l], d);
+        b.connect(ids[i], ids[(i + 1) % l], d * (1.0 + 1e-9));
+    }
+    b.build()
+        .expect("near-duplicate circuit is structurally valid")
+}
+
+/// A fully symmetric ring of `l` latches over `k` phases plus a chord from
+/// every latch two positions ahead, with **every** combinational delay
+/// equal to `10.0` and identical latch parameters.
+///
+/// The symmetry makes the cycle-time LP maximally degenerate: many
+/// vertices attain the optimum and every simplex ratio test is an exact
+/// tie, so the two pivoting variants are pushed toward different optimal
+/// bases that must nevertheless certify against each other.
+///
+/// # Panics
+///
+/// Panics if `l < 3` or `k < 1`.
+pub fn degenerate_ties(l: usize, k: usize) -> Circuit {
+    assert!(l >= 3 && k >= 1);
+    let mut b = CircuitBuilder::new(k);
+    let ids: Vec<LatchId> = (0..l)
+        .map(|i| b.add_latch(format!("T{i}"), PhaseId::new(i % k), 2.0, 2.0))
+        .collect();
+    for i in 0..l {
+        b.connect(ids[i], ids[(i + 1) % l], 10.0);
+        b.connect(ids[i], ids[(i + 2) % l], 10.0);
+    }
+    b.build().expect("degenerate circuit is structurally valid")
+}
+
+/// One named instance of every pathological generator at a moderate size,
+/// deterministic for the given `seed`. Intended for stress harnesses that
+/// sweep "all the hard cases" without enumerating generators themselves.
+pub fn suite(seed: u64) -> Vec<(String, Circuit)> {
+    vec![
+        ("badly_scaled_12x3".to_string(), badly_scaled(12, 3, seed)),
+        (
+            "zero_delay_loops_5x2".to_string(),
+            zero_delay_loops(5, 2, seed),
+        ),
+        (
+            "near_duplicate_rows_8x2".to_string(),
+            near_duplicate_rows(8, 2, seed),
+        ),
+        ("degenerate_ties_9x3".to_string(), degenerate_ties(9, 3)),
+        ("degenerate_ties_8x2".to_string(), degenerate_ties(8, 2)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn badly_scaled_spans_many_orders_of_magnitude() {
+        let c = badly_scaled(12, 3, 0);
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for e in c.edges() {
+            lo = lo.min(e.max_delay);
+            hi = hi.max(e.max_delay);
+        }
+        assert!(hi / lo > 1e6, "span {lo:.3e}..{hi:.3e} too narrow");
+        assert!(c.has_feedback());
+    }
+
+    #[test]
+    fn zero_delay_loops_contain_actual_zero_wires() {
+        let c = zero_delay_loops(5, 2, 1);
+        assert!(c.edges().iter().any(|e| e.max_delay == 0.0));
+        assert!(c.edges().iter().any(|e| e.max_delay > 0.0));
+        assert!(c.has_feedback());
+    }
+
+    #[test]
+    fn near_duplicate_rows_doubles_every_stage() {
+        let l = 8;
+        let c = near_duplicate_rows(l, 2, 3);
+        assert_eq!(c.num_edges(), 2 * l);
+        // Twin edges differ by a relative 1e-9, not exactly equal.
+        let edges = c.edges();
+        let twins = edges
+            .iter()
+            .filter(|e| {
+                edges.iter().any(|f| {
+                    f.from == e.from
+                        && f.to == e.to
+                        && f.max_delay != e.max_delay
+                        && (f.max_delay - e.max_delay).abs() < 1e-6 * e.max_delay
+                })
+            })
+            .count();
+        assert_eq!(twins, 2 * l);
+    }
+
+    #[test]
+    fn degenerate_ties_is_uniform() {
+        let c = degenerate_ties(9, 3);
+        assert!(c.edges().iter().all(|e| e.max_delay == 10.0));
+        assert_eq!(c.num_edges(), 18);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(badly_scaled(10, 2, 7), badly_scaled(10, 2, 7));
+        assert_eq!(zero_delay_loops(4, 3, 7), zero_delay_loops(4, 3, 7));
+        assert_ne!(badly_scaled(10, 2, 7), badly_scaled(10, 2, 8));
+    }
+
+    #[test]
+    fn suite_is_nonempty_and_named() {
+        let s = suite(0);
+        assert!(s.len() >= 4);
+        assert!(s
+            .iter()
+            .all(|(name, c)| !name.is_empty() && c.num_edges() > 0));
+    }
+}

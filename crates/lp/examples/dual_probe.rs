@@ -10,15 +10,33 @@ fn main() {
     let c = p.constrain(x + y, Sense::Ge, 10.0);
     p.minimize(LinExpr::from(y));
 
-    let plain = p.solve().unwrap();
+    let plain = p.solve().unwrap().into_optimal().unwrap();
     let pre = p
         .solve_with_presolve(SimplexVariant::Dense, &PresolveOptions::default())
+        .unwrap()
+        .into_optimal()
         .unwrap();
-    println!("plain : obj={:?} y_dual_row={} rc_x={} rc_y={}",
-        plain.objective(), plain.duals()[c.index()], plain.reduced_costs()[0], plain.reduced_costs()[1]);
-    println!("presol: obj={:?} y_dual_row={} rc_x={} rc_y={}",
-        pre.objective(), pre.duals()[c.index()], pre.reduced_costs()[0], pre.reduced_costs()[1]);
-    println!("values plain={:?} presolve={:?}", plain.values(), pre.values());
+    println!(
+        "plain : obj={} y_dual_row={} rc_x={} rc_y={}",
+        plain.objective(),
+        plain.dual(c),
+        plain.reduced_cost(x),
+        plain.reduced_cost(y)
+    );
+    println!(
+        "presol: obj={} y_dual_row={} rc_x={} rc_y={}",
+        pre.objective(),
+        pre.dual(c),
+        pre.reduced_cost(x),
+        pre.reduced_cost(y)
+    );
+    println!(
+        "values plain={:?} presolve={:?}",
+        plain.values(),
+        pre.values()
+    );
     // KKT check on original: c_j - sum_i dual_i * a_ij should equal rc_j,
     // and rc_j must be 0 unless the ORIGINAL bound of j is active.
+    let cert = plain.as_solution().certify(&p);
+    println!("certificate: {cert}");
 }

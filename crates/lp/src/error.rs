@@ -48,6 +48,27 @@ pub enum LpError {
         /// Where the breakdown happened.
         context: String,
     },
+    /// The caller's [`SolveBudget`](crate::SolveBudget) was exhausted
+    /// before the solve terminated.
+    Budget {
+        /// Simplex iterations completed when the budget ran out.
+        iterations: usize,
+        /// `true` when the wall-clock deadline expired; `false` when the
+        /// iteration allowance ran out.
+        timed_out: bool,
+    },
+    /// Every rung of the recovery ladder was exhausted without producing
+    /// a verdict that certifies against the original problem
+    /// (see [`Problem::solve_certified`](crate::Problem::solve_certified)).
+    CertificationFailed {
+        /// Recovery-ladder rungs attempted (including the initial solve).
+        steps: usize,
+        /// Name of the optimality condition with the worst residual in
+        /// the best attempt.
+        condition: &'static str,
+        /// That worst relative residual.
+        residual: f64,
+    },
 }
 
 impl fmt::Display for LpError {
@@ -71,6 +92,29 @@ impl fmt::Display for LpError {
             LpError::Numerical { context } => {
                 write!(f, "numerical breakdown in {context}")
             }
+            LpError::Budget {
+                iterations,
+                timed_out,
+            } => {
+                let what = if *timed_out {
+                    "wall-clock deadline"
+                } else {
+                    "iteration allowance"
+                };
+                write!(
+                    f,
+                    "solve budget exhausted ({what}) after {iterations} simplex iterations"
+                )
+            }
+            LpError::CertificationFailed {
+                steps,
+                condition,
+                residual,
+            } => write!(
+                f,
+                "no certified verdict after {steps} recovery step(s); best attempt fails the \
+                 {condition} check with relative residual {residual:.3e}"
+            ),
         }
     }
 }

@@ -108,7 +108,7 @@ pub fn extract_iis(p: &Problem) -> Result<Option<Iis>, LpError> {
             let support: Vec<ConstraintId> = all
                 .iter()
                 .copied()
-                .filter(|c| y[c.index()].abs() > 1e-9)
+                .filter(|c| y[c.index()].abs() > crate::tol::Tol::TIGHT.rel())
                 .collect();
             if !support.is_empty()
                 && support.len() < all.len()
@@ -150,7 +150,7 @@ pub fn extract_iis(p: &Problem) -> Result<Option<Iis>, LpError> {
 /// machine-checked proof of infeasibility independent of the simplex run
 /// that produced `y`.
 pub fn certifies_infeasibility(p: &Problem, y: &[f64]) -> bool {
-    const TOL: f64 = 1e-7;
+    let tol = crate::tol::Tol::FEAS;
     if y.len() != p.num_constraints() || y.iter().any(|v| !v.is_finite()) {
         return false;
     }
@@ -158,8 +158,8 @@ pub fn certifies_infeasibility(p: &Problem, y: &[f64]) -> bool {
     for (c, &yr) in y.iter().enumerate() {
         let (_, sense, _) = p.constraint(ConstraintId(c));
         match sense {
-            Sense::Le if yr > TOL => return false,
-            Sense::Ge if yr < -TOL => return false,
+            Sense::Le if yr > tol.rel() => return false,
+            Sense::Ge if yr < -tol.rel() => return false,
             _ => {}
         }
     }
@@ -183,7 +183,7 @@ pub fn certifies_infeasibility(p: &Problem, y: &[f64]) -> bool {
     // sup over the variable box of `coeff·x`.
     let mut sup = 0.0;
     for j in 0..n {
-        if coeff[j].abs() <= TOL * (1.0 + scale[j]) {
+        if coeff[j].abs() <= tol.abs_for(scale[j]) {
             continue; // numerically zero: contributes nothing
         }
         let (lo, up) = p.var_bounds(VarId(j));
@@ -197,7 +197,7 @@ pub fn certifies_infeasibility(p: &Problem, y: &[f64]) -> bool {
         }
         sup += term;
     }
-    sup < rhs - TOL * (1.0 + rhs.abs())
+    sup < rhs - tol.abs_for(rhs)
 }
 
 #[cfg(test)]

@@ -23,7 +23,14 @@
 //!   [`Problem::solve_with_presolve`]) that folds singleton rows into bounds,
 //!   fixes pinned variables and removes redundant or dominated rows before
 //!   the simplex runs, returning a [`Presolved`] bundle whose postsolve map
-//!   reconstructs the full primal/dual solution on the original rows.
+//!   reconstructs the full primal/dual solution on the original rows,
+//! * independent optimality checking ([`Solution::certify`] returning a
+//!   [`Certificate`] of KKT residuals) and certified solving with a
+//!   numerical recovery ladder ([`Problem::solve_certified`]): alternate
+//!   simplex variant, geometric-mean equilibration, and one round of
+//!   iterative refinement, all verified against the *original* problem,
+//! * solve budgets ([`SolveBudget`]): wall-clock deadlines and iteration
+//!   allowances enforced inside both simplex pivot loops.
 //!
 //! The SMO constraint matrices contain only `0, ±1` entries (§VI), so a dense
 //! f64 tableau with modest tolerances ([`EPS`]) is numerically comfortable.
@@ -60,9 +67,13 @@ mod iis;
 mod parametric;
 mod presolve;
 mod problem;
+mod recover;
 mod revised;
+mod scale;
 mod simplex;
 mod solution;
+mod tol;
+mod verify;
 
 pub use error::LpError;
 pub use export::write_lp;
@@ -71,7 +82,10 @@ pub use iis::{certifies_infeasibility, extract_iis, Iis};
 pub use parametric::{parametric_objective, parametric_rhs, ParametricCurve, ParametricSegment};
 pub use presolve::{PresolveOptions, PresolveStats, Presolved, RowFate, VarFate};
 pub use problem::{ConstraintId, Objective, Problem, Sense, SimplexVariant};
+pub use recover::{CertifiedSolution, RecoveryPolicy, RecoveryStep, SolveBudget};
 pub use solution::{OptimalSolution, Solution, Status};
+pub use tol::Tol;
+pub use verify::Certificate;
 
 /// Absolute tolerance used throughout the solver for feasibility, pivot
 /// eligibility and optimality tests.

@@ -74,7 +74,8 @@ impl ParametricCurve {
         let mut out = Vec::new();
         for w in self.segments.windows(2) {
             // a breakpoint is only "real" if the slope actually changes
-            if (w[0].slope - w[1].slope).abs() > 1e-7 {
+            let scale = w[0].slope.abs().max(w[1].slope.abs());
+            if (w[0].slope - w[1].slope).abs() > crate::tol::Tol::FEAS.abs_for(scale) {
                 out.push(w[0].theta_hi);
             }
         }
@@ -138,9 +139,9 @@ pub fn parametric_rhs(
     let mut t = tableau.ok_or(LpError::NotOptimal {
         status: solution.status(),
     })?;
-    let mut objective = solution
-        .objective()
-        .expect("optimal solution has an objective");
+    let mut objective = solution.objective().ok_or(LpError::NotOptimal {
+        status: solution.status(),
+    })?;
 
     let mut segments = Vec::new();
     let mut infeasible_beyond = None;
@@ -181,7 +182,14 @@ pub fn parametric_rhs(
             break;
         }
 
-        let r = leaving.expect("finite theta_hi implies a leaving row");
+        let Some(r) = leaving else {
+            // A finite theta_hi implies some row produced it; reaching here
+            // means the ratio scan saw NaN, which only non-finite data can
+            // cause.
+            return Err(LpError::Numerical {
+                context: "parametric rhs: no leaving row for finite theta".into(),
+            });
+        };
         segments.push(ParametricSegment {
             theta_lo: theta,
             theta_hi,
@@ -236,7 +244,7 @@ fn coalesce(segments: Vec<ParametricSegment>) -> Vec<ParametricSegment> {
         }
         match out.last_mut() {
             Some(last)
-                if (last.slope - seg.slope).abs() < 1e-9
+                if crate::tol::Tol::TIGHT.eq(last.slope, seg.slope)
                     || last.theta_hi - last.theta_lo <= EPS =>
             {
                 if last.theta_hi - last.theta_lo <= EPS {
@@ -445,13 +453,17 @@ pub fn parametric_objective(
         // objective value is evaluated on user variables directly).
         let values = t.user_values();
         let slope: f64 = d_user.iter().zip(&values).map(|(d, x)| d * x).sum();
-        let objective = {
-            let (_, obj) = p.objective.as_ref().expect("validated");
-            obj.eval(&values)
+        let Some((_, obj)) = p.objective.as_ref() else {
+            return Err(LpError::MissingObjective);
         };
+        let objective = obj.eval(&values);
 
         // optimality holds while z(θ) = z + θ·z2 ≥ 0 on eligible columns
-        let z2 = t.z2.as_ref().expect("installed above");
+        let Some(z2) = t.z2.as_ref() else {
+            return Err(LpError::Numerical {
+                context: "parametric cost: secondary cost row missing".into(),
+            });
+        };
         let mut theta_hi = f64::INFINITY;
         let mut entering: Option<usize> = None;
         for (j, &z2j) in z2.iter().enumerate().take(t.ncols) {
@@ -481,7 +493,11 @@ pub fn parametric_objective(
             break;
         }
 
-        let j = entering.expect("finite theta_hi implies an entering column");
+        let Some(j) = entering else {
+            return Err(LpError::Numerical {
+                context: "parametric cost: no entering column for finite theta".into(),
+            });
+        };
         segments.push(ParametricSegment {
             theta_lo: theta,
             theta_hi,

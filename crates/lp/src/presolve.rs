@@ -464,10 +464,9 @@ impl Work {
 
     /// Folds the singleton row `i` (`a·x ⋛ rhs`) into the bounds of `x`.
     fn fold_singleton(&mut self, i: usize) {
-        let (v, a) = self.rows[i]
-            .iter()
-            .next()
-            .expect("singleton row has a term");
+        let Some((v, a)) = self.rows[i].iter().next() else {
+            return; // empty rows are classified elsewhere, never folded
+        };
         let j = v.index();
         let b = self.rhs[i] / a;
         match (self.sense[i], a > 0.0) {

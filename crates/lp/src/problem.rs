@@ -283,10 +283,25 @@ impl Problem {
     ///
     /// Same as [`Problem::solve`].
     pub fn solve_with(&self, variant: SimplexVariant) -> Result<Solution, LpError> {
+        self.solve_with_budget(variant, crate::recover::SolveBudget::UNLIMITED)
+    }
+
+    /// Solves the model under a wall-clock / iteration budget, checked
+    /// inside both simplex pivot loops.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve`], plus [`LpError::Budget`] when the
+    /// budget is exhausted before the solve terminates.
+    pub fn solve_with_budget(
+        &self,
+        variant: SimplexVariant,
+        budget: crate::recover::SolveBudget,
+    ) -> Result<Solution, LpError> {
         self.validate()?;
         match variant {
-            SimplexVariant::Dense => simplex::solve(self),
-            SimplexVariant::Revised => revised::solve(self),
+            SimplexVariant::Dense => simplex::solve_budgeted(self, budget),
+            SimplexVariant::Revised => revised::solve_budgeted(self, budget),
         }
     }
 }

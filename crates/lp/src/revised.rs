@@ -60,6 +60,9 @@ struct RevisedCore {
     iterations: usize,
     /// eta-file length that triggers refactorization
     refactor_every: usize,
+    /// caller-supplied budget, consulted inside the pivot loop every
+    /// [`crate::recover::BUDGET_CHECK_EVERY`] pivots
+    budget: crate::recover::SolveBudget,
     /// phase-1 duals per standard row, captured at infeasible termination
     /// (a Farkas certificate before row-flip unmapping)
     farkas_y: Option<Vec<f64>>,
@@ -99,6 +102,7 @@ impl RevisedCore {
             xb,
             iterations: 0,
             refactor_every: REFACTOR_EVERY,
+            budget: crate::recover::SolveBudget::UNLIMITED,
             farkas_y: None,
         }
     }
@@ -167,15 +171,11 @@ impl RevisedCore {
         }
         let mut inv = identity(m);
         for col in 0..m {
-            // partial pivoting
+            // partial pivoting (total_cmp: NaN sorts high, caught by the
+            // singularity check below rather than a panic)
             let piv_row = (col..m)
-                .max_by(|&x, &y| {
-                    a[x][col]
-                        .abs()
-                        .partial_cmp(&a[y][col].abs())
-                        .expect("finite")
-                })
-                .expect("non-empty range");
+                .max_by(|&x, &y| a[x][col].abs().total_cmp(&a[y][col].abs()))
+                .unwrap_or(col);
             if a[piv_row][col].abs() < 1e-12 {
                 return Err(LpError::Numerical {
                     context: "basis refactorization (singular basis)".into(),
@@ -219,6 +219,12 @@ impl RevisedCore {
         loop {
             if self.iterations > limit {
                 return Err(LpError::IterationLimit { limit });
+            }
+            if self
+                .iterations
+                .is_multiple_of(crate::recover::BUDGET_CHECK_EVERY)
+            {
+                self.budget.check(self.iterations)?;
             }
             let bland = self.iterations > bland_after;
             // duals for the current basis
@@ -394,23 +400,33 @@ fn mat_vec(a: &[Vec<f64>], v: &[f64]) -> Vec<f64> {
         .collect()
 }
 
-/// Solves `p` with the sparse revised simplex.
-///
-/// Semantically identical to [`Problem::solve`]; see the module docs for
-/// when it is faster.
-pub(crate) fn solve(p: &Problem) -> Result<Solution, LpError> {
-    solve_with_refactor_interval(p, REFACTOR_EVERY)
+/// Entry point used by [`Problem::solve_with_budget`].
+pub(crate) fn solve_budgeted(
+    p: &Problem,
+    budget: crate::recover::SolveBudget,
+) -> Result<Solution, LpError> {
+    solve_inner(p, REFACTOR_EVERY, budget)
 }
 
-/// [`solve`] with an explicit refactorization interval (exposed for tests
-/// exercising the refactorization path).
+/// [`solve_budgeted`] with an explicit refactorization interval (exposed
+/// for tests exercising the refactorization path).
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn solve_with_refactor_interval(
     p: &Problem,
     refactor_every: usize,
 ) -> Result<Solution, LpError> {
+    solve_inner(p, refactor_every, crate::recover::SolveBudget::UNLIMITED)
+}
+
+fn solve_inner(
+    p: &Problem,
+    refactor_every: usize,
+    budget: crate::recover::SolveBudget,
+) -> Result<Solution, LpError> {
     let skeleton = Tableau::build(p, None)?;
     let mut core = RevisedCore::from_tableau(&skeleton);
     core.refactor_every = refactor_every.max(1);
+    core.budget = budget;
     let status = core.optimize()?;
     if status != Status::Optimal {
         let farkas = core
@@ -442,7 +458,9 @@ pub(crate) fn solve_with_refactor_interval(
         .map(|j| core.costs[j] - core.sparse_dot(&y, j))
         .collect();
     let reduced_costs = skeleton.map_reduced_costs(&z);
-    let (_, obj_expr) = p.objective.as_ref().expect("validated");
+    let Some((_, obj_expr)) = p.objective.as_ref() else {
+        return Err(LpError::MissingObjective);
+    };
     let objective = obj_expr.eval(&values);
     let slacks = p
         .rows

@@ -73,6 +73,9 @@ pub(crate) struct Tableau {
     pub(crate) user_rows: usize,
     var_cols: Vec<VarCols>,
     pub(crate) iterations: usize,
+    /// Caller-supplied wall-clock / iteration budget, consulted inside
+    /// the pivot loop every [`crate::recover::BUDGET_CHECK_EVERY`] pivots.
+    pub(crate) budget: crate::recover::SolveBudget,
 }
 
 const RHS: usize = 0; // symbolic: rhs column is at index ncols + RHS
@@ -281,6 +284,7 @@ impl Tableau {
             user_rows: p.rows.len(),
             var_cols,
             iterations: 0,
+            budget: crate::recover::SolveBudget::UNLIMITED,
         })
     }
 
@@ -314,7 +318,9 @@ impl Tableau {
         // Split the rows around the pivot row so the elimination can stream
         // over slices instead of double-indexing every element.
         let (before, rest) = self.tab.split_at_mut(row);
-        let (pivot_row, after) = rest.split_first_mut().expect("row in range");
+        let Some((pivot_row, after)) = rest.split_first_mut() else {
+            return; // row ≥ tab.len(): nothing to eliminate against
+        };
         for r in before.iter_mut().chain(after.iter_mut()) {
             let factor = r[col];
             if factor != 0.0 {
@@ -359,6 +365,12 @@ impl Tableau {
         loop {
             if self.iterations > limit {
                 return Err(LpError::IterationLimit { limit });
+            }
+            if self
+                .iterations
+                .is_multiple_of(crate::recover::BUDGET_CHECK_EVERY)
+            {
+                self.budget.check(self.iterations)?;
             }
             let bland = self.iterations > bland_after;
             // entering column
@@ -578,11 +590,13 @@ impl Tableau {
             .collect()
     }
 
-    /// Objective value in the *user's* orientation.
+    /// Objective value in the *user's* orientation (NaN if the problem has
+    /// no objective, which `validate` rules out before any solve).
     pub(crate) fn user_objective(&self, p: &Problem) -> f64 {
         let values = self.user_values();
-        let (_, obj) = p.objective.as_ref().expect("validated");
-        obj.eval(&values)
+        p.objective
+            .as_ref()
+            .map_or(f64::NAN, |(_, obj)| obj.eval(&values))
     }
 
     /// Dual value of each user constraint, in the user's orientation and
@@ -625,7 +639,12 @@ pub(crate) fn solve_with_tableau(
     p: &Problem,
     param: Option<&[f64]>,
 ) -> Result<(Solution, Option<Tableau>), LpError> {
-    let mut t = Tableau::build(p, param)?;
+    let t = Tableau::build(p, param)?;
+    finish_solve(p, t)
+}
+
+/// Runs the already-built tableau to termination and packages the result.
+fn finish_solve(p: &Problem, mut t: Tableau) -> Result<(Solution, Option<Tableau>), LpError> {
     let status = t.optimize()?;
     let solution = match status {
         Status::Optimal => {
@@ -670,9 +689,23 @@ pub(crate) fn solve_with_tableau(
     Ok((solution, keep.then_some(t)))
 }
 
-/// Entry point used by [`Problem::solve`].
-pub(crate) fn solve(p: &Problem) -> Result<Solution, LpError> {
-    solve_with_tableau(p, None).map(|(s, _)| s)
+/// Entry point used by [`Problem::solve_with_budget`].
+pub(crate) fn solve_budgeted(
+    p: &Problem,
+    budget: crate::recover::SolveBudget,
+) -> Result<Solution, LpError> {
+    solve_with_tableau_budgeted(p, None, budget).map(|(s, _)| s)
+}
+
+/// [`solve_with_tableau`] under a caller-supplied budget.
+pub(crate) fn solve_with_tableau_budgeted(
+    p: &Problem,
+    param: Option<&[f64]>,
+    budget: crate::recover::SolveBudget,
+) -> Result<(Solution, Option<Tableau>), LpError> {
+    let mut t = Tableau::build(p, param)?;
+    t.budget = budget;
+    finish_solve(p, t)
 }
 
 #[cfg(test)]

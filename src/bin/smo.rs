@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! smo optimize <netlist>            minimum cycle time + optimal schedule
+//! smo solve    <netlist>            certified minimum cycle time (KKT-checked LPs)
 //! smo report   <netlist>            full timing report (slacks, critical segments)
 //! smo verify   <netlist> Tc s1,w1 [s2,w2 …]   check a concrete schedule
 //! smo simulate <netlist> [waves]    behavioural simulation at the optimum
@@ -23,7 +24,8 @@ use smo::analyze::{analyze, diagnose, lint, AnalyzeError};
 use smo::circuit::{lump_equivalent_latches, netlist, to_dot, Circuit, ClockSchedule};
 use smo::sim::{monte_carlo, simulate, MonteCarloOptions, SimOptions};
 use smo::timing::{
-    min_cycle_time, render_solution, timing_report, verify, MlpOptions, TimingModel,
+    min_cycle_time, min_cycle_time_with, render_solution, timing_report, verify, MlpOptions,
+    TimingModel,
 };
 use std::process::ExitCode;
 
@@ -42,6 +44,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   smo optimize <netlist>                         minimum cycle time + schedule
+  smo solve    <netlist> [--no-certify] [--time-limit <secs>] [--json]
+                                                 minimum cycle time with every
+                                                 LP verdict independently
+                                                 KKT-checked (exit 1 if any
+                                                 check cannot be satisfied)
   smo report   <netlist>                         full timing report
   smo verify   <netlist> <Tc> <s,w> [<s,w> ...]  check a concrete schedule
   smo simulate <netlist> [waves]                 behavioural simulation
@@ -71,6 +78,55 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             println!("optimal cycle time: {:.6}", sol.cycle_time());
             print!("{}", render_solution(&circuit, &sol));
             Ok(ExitCode::SUCCESS)
+        }
+        "solve" => {
+            let mut path = None;
+            let mut options = MlpOptions::default();
+            let mut json = false;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--no-certify" => options.certify = false,
+                    "--time-limit" => {
+                        let secs: f64 = it
+                            .next()
+                            .ok_or("--time-limit needs a value in seconds")?
+                            .parse()
+                            .map_err(|e| format!("bad time limit: {e}"))?;
+                        if !secs.is_finite() || secs <= 0.0 {
+                            return Err(format!(
+                                "time limit must be a positive number of seconds, got {secs}"
+                            ));
+                        }
+                        options.time_limit = Some(std::time::Duration::from_secs_f64(secs));
+                    }
+                    "--json" => json = true,
+                    other if path.is_none() && !other.starts_with('-') => {
+                        path = Some(other.to_string());
+                    }
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            let circuit = load(&path.ok_or("missing netlist path")?)?;
+            let sol = min_cycle_time_with(&circuit, &options).map_err(|e| e.to_string())?;
+            if json {
+                println!("{}", solve_json(&sol));
+            } else {
+                println!("optimal cycle time: {:.6}", sol.cycle_time());
+                println!("certified: {}", sol.certified());
+                for (i, cert) in sol.certificates().iter().enumerate() {
+                    println!("  lp {}: {cert}", i + 1);
+                }
+                print!("{}", render_solution(&circuit, &sol));
+            }
+            // `certify` on and a returned solution imply every LP verdict
+            // passed its independent check; `certified()` can only be false
+            // here when the user asked for --no-certify.
+            Ok(if options.certify && !sol.certified() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
         }
         "report" => {
             let circuit = load(rest.first().ok_or("missing netlist path")?)?;
@@ -308,6 +364,43 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+/// Renders a `smo solve` result as a JSON object (hand-rolled, matching
+/// the other subcommands' `to_json` style).
+fn solve_json(sol: &smo::timing::TimingSolution) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"cycle_time\": {:.6},\n", sol.cycle_time()));
+    out.push_str(&format!("  \"certified\": {},\n", sol.certified()));
+    out.push_str(&format!(
+        "  \"lp_iterations\": {},\n  \"update_iterations\": {},\n  \"num_constraints\": {},\n",
+        sol.lp_iterations(),
+        sol.update_iterations(),
+        sol.num_constraints()
+    ));
+    out.push_str("  \"certificates\": [");
+    for (i, cert) in sol.certificates().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        out.push_str(&format!("      \"valid\": {},\n", cert.is_valid()));
+        out.push_str(&format!("      \"tolerance\": {:e},\n", cert.tol()));
+        out.push_str(&format!("      \"worst_residual\": {:e},\n", cert.worst()));
+        out.push_str("      \"residuals\": {");
+        for (j, (name, value)) in cert.residuals().iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {value:e}"));
+        }
+        out.push_str("}\n    }");
+    }
+    if !sol.certificates().is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
 }
 
 /// Parses `<netlist> [--json]` argument lists (any order).

@@ -343,3 +343,64 @@ fn zero_counts_and_nan_scale_are_rejected_not_panics() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("positive finite"));
 }
+
+#[test]
+fn solve_certifies_every_shipped_netlist() {
+    for f in [
+        "circuits/example1.ckt",
+        "circuits/example2.ckt",
+        "circuits/gaas_mips.ckt",
+        "circuits/appendix_fig1.ckt",
+        "circuits/alu_bypass.ckt",
+    ] {
+        let out = smo(&["solve", f]);
+        assert!(
+            out.status.success(),
+            "{f}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = stdout(&out);
+        assert!(text.contains("certified: true"), "{f}: {text}");
+        assert!(text.contains("certified optimal"), "{f}: {text}");
+    }
+}
+
+#[test]
+fn solve_json_carries_certificates() {
+    let out = smo(&["solve", "circuits/example1.ckt", "--json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("\"cycle_time\": 110.000000"), "{text}");
+    assert!(text.contains("\"certified\": true"), "{text}");
+    assert!(text.contains("\"worst_residual\""), "{text}");
+    assert!(text.contains("\"duality gap\""), "{text}");
+    assert_eq!(
+        text.matches("\"valid\": true").count(),
+        2,
+        "one certificate per LP (cycle-time + canonicalization): {text}"
+    );
+}
+
+#[test]
+fn solve_no_certify_skips_certificates() {
+    let out = smo(&["solve", "circuits/example1.ckt", "--no-certify"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("certified: false"), "{text}");
+    assert!(text.contains("optimal cycle time: 110.000000"), "{text}");
+}
+
+#[test]
+fn solve_honors_a_generous_time_limit_and_rejects_bad_ones() {
+    let out = smo(&["solve", "circuits/gaas_mips.ckt", "--time-limit", "60"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("certified: true"));
+
+    let out = smo(&["solve", "circuits/example1.ckt", "--time-limit", "-1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("positive"));
+
+    let out = smo(&["solve", "circuits/example1.ckt", "--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected argument"));
+}
