@@ -28,6 +28,9 @@ cargo test -q
 echo "==> stress harness (pathological circuits, both simplex variants)"
 cargo test -q --test stress
 
+echo "==> warm-start differential + sweep determinism suite"
+cargo test -q --test warm_start
+
 echo "==> smo lint + smo analyze + certified smo solve over circuits/*.ckt"
 # `lint` exits non-zero on error-severity findings; `analyze` exits 2 when
 # the combinatorial bracket, the presolved solve and the plain solve
@@ -41,6 +44,12 @@ for ckt in circuits/*.ckt; do
   # KKT-checked (exit 0 and an explicit `certified: true` line). Plain
   # grep (not -q): -q closes the pipe early and breaks the writer.
   ./target/release/smo solve "$ckt" | grep "certified: true" > /dev/null
+  # Short certified Monte-Carlo sweep: exercises the warm-start repair and
+  # the worker pool end to end on every shipped netlist (~2 s total).
+  ./target/release/smo sweep "$ckt" --runs 4 --jobs 2 --certify > /dev/null
 done
+
+echo "==> bench_sweep (regenerates BENCH_sweep.json, enforces warm >= 2x cold)"
+cargo run -q --release -p smo-bench --bin bench_sweep
 
 echo "CI OK"

@@ -28,6 +28,10 @@
 //!   C1–C3 / L1 / L2R constraints in conflict.
 //! * **Timing diagrams** ([`render_schedule`], [`render_solution`]) — ASCII
 //!   renderings in the style of Figs. 6 and 11.
+//! * **Parallel sweeps** ([`sweep_cycle_time`]) — warm-started batch
+//!   re-solves: parametric clock sweeps and Monte-Carlo delay
+//!   perturbations fanned over a work-claiming thread pool, deterministic
+//!   for any thread count.
 //!
 //! ## Quickstart
 //!
@@ -76,6 +80,7 @@ mod propagation;
 mod report;
 mod sensitivity;
 mod solution;
+mod sweep;
 
 pub use analysis::{
     min_cycle_for_shape, verify, verify_with, AnalysisOptions, AnalysisReport, Violation,
@@ -97,6 +102,7 @@ pub use propagation::{Arc, FixpointResult, PropagationSystem, FIXPOINT_TOL};
 pub use report::{render_report, timing_report};
 pub use sensitivity::{cycle_time_curve, delay_sensitivities};
 pub use solution::TimingSolution;
+pub use sweep::{sweep_cycle_time, SweepOptions, SweepParam, SweepReport, SweepRun};
 
 // Re-export the schedule type: it is the natural currency between the
 // circuit model and the timing engine.

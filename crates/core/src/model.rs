@@ -726,6 +726,70 @@ impl TimingModel {
         }
     }
 
+    /// Like [`TimingModel::solve_lp_with`], warm-starting from a basis
+    /// snapshot captured by an earlier optimal solve of this model or of a
+    /// delay-perturbed copy (see
+    /// [`Problem::solve_from_basis_with`](smo_lp::Problem::solve_from_basis_with)).
+    ///
+    /// Delay edits via [`TimingModel::set_edge_delay`] change only
+    /// right-hand sides, so the snapshot stays structurally valid and the
+    /// repair is typically a handful of dual-simplex pivots instead of a
+    /// from-scratch phase 1. A snapshot that no longer fits falls back to
+    /// the cold path silently — verdicts never depend on the warm start.
+    ///
+    /// # Errors
+    ///
+    /// See [`TimingModel::solve_lp`].
+    pub fn solve_lp_from_basis(
+        &self,
+        variant: smo_lp::SimplexVariant,
+        basis: &smo_lp::Basis,
+    ) -> Result<OptimalSolution, TimingError> {
+        let sol = self.problem.solve_from_basis_with(variant, basis)?;
+        match sol.status() {
+            smo_lp::Status::Optimal => Ok(sol.into_optimal()?),
+            smo_lp::Status::Infeasible => Err(TimingError::Infeasible {
+                reason: "the clock and latch constraints admit no schedule \
+                         (check fixed/max cycle time and minimum width options)"
+                    .into(),
+            }),
+            smo_lp::Status::Unbounded => Err(TimingError::Unbounded),
+        }
+    }
+
+    /// Like [`TimingModel::solve_lp_certified`], with an optional basis
+    /// snapshot prepended as the first rung of the recovery ladder. The
+    /// certificate is still evaluated against the raw constraint rows, so a
+    /// warm-started solve certifies exactly as strictly as a cold one.
+    ///
+    /// # Errors
+    ///
+    /// See [`TimingModel::solve_lp_certified`].
+    pub fn solve_lp_certified_from_basis(
+        &self,
+        policy: &smo_lp::RecoveryPolicy,
+        basis: Option<&smo_lp::Basis>,
+    ) -> Result<(OptimalSolution, smo_lp::Certificate), TimingError> {
+        let certified = self.problem.solve_certified_from_basis(policy, basis)?;
+        match certified.status() {
+            smo_lp::Status::Optimal => {
+                let Some(cert) = certified.certificate().cloned() else {
+                    return Err(TimingError::Lp(smo_lp::LpError::Numerical {
+                        context: "certified solve returned optimal without a certificate".into(),
+                    }));
+                };
+                Ok((certified.into_solution().into_optimal()?, cert))
+            }
+            smo_lp::Status::Infeasible => Err(TimingError::Infeasible {
+                reason: "the clock and latch constraints admit no schedule \
+                         (check fixed/max cycle time and minimum width options); \
+                         infeasibility confirmed by a Farkas certificate"
+                    .into(),
+            }),
+            smo_lp::Status::Unbounded => Err(TimingError::Unbounded),
+        }
+    }
+
     /// Extracts the clock schedule from an LP solution of this model.
     ///
     /// # Errors

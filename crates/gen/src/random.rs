@@ -79,6 +79,42 @@ pub fn random_circuit(config: &GenConfig, seed: u64) -> Circuit {
     b.build().expect("generated circuit is structurally valid")
 }
 
+/// Uniformly jittered long-path delays for Monte-Carlo re-solves: edge
+/// `e`'s delay is drawn from `[Δ·(1−spread), Δ·(1+spread)]`, one entry per
+/// edge in `circuit.edges()` order.
+///
+/// This is the delay model behind `smo-core`'s sweep engine and `smo
+/// sweep --param delay`: the perturbation touches only the *values* of the
+/// delays, never the circuit structure, so every perturbed timing model
+/// shares its constraint matrix (and hence its warm-start basis) with the
+/// base model.
+///
+/// Deterministic for a given `(circuit, spread, seed)`; `spread = 0`
+/// returns the delays unchanged.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ spread ≤ 1`.
+pub fn perturbed_delays(circuit: &Circuit, spread: f64, seed: u64) -> Vec<f64> {
+    assert!(
+        (0.0..=1.0).contains(&spread),
+        "spread must lie in [0, 1], got {spread}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    circuit
+        .edges()
+        .iter()
+        .map(|e| {
+            let d = e.max_delay;
+            if spread == 0.0 || d == 0.0 {
+                d
+            } else {
+                rng.gen_range((d * (1.0 - spread))..=(d * (1.0 + spread)))
+            }
+        })
+        .collect()
+}
+
 /// A feed-forward pipeline of `stages + 1` latches cycling through the `k`
 /// phases in order, with uniform-random stage delays; optionally closed
 /// into a loop.
@@ -267,6 +303,22 @@ mod tests {
             let m = multi_loop(3, 4, seed);
             assert!(m.num_edges() > 0);
         }
+    }
+
+    #[test]
+    fn perturbed_delays_stay_in_band_and_are_seeded() {
+        let c = random_circuit(&GenConfig::default(), 5);
+        let a = perturbed_delays(&c, 0.2, 9);
+        let b = perturbed_delays(&c, 0.2, 9);
+        assert_eq!(a, b, "same seed, same draw");
+        assert_ne!(a, perturbed_delays(&c, 0.2, 10));
+        assert_eq!(a.len(), c.num_edges());
+        for (e, d) in c.edges().iter().zip(&a) {
+            assert!(*d >= e.max_delay * 0.8 - 1e-12 && *d <= e.max_delay * 1.2 + 1e-12);
+        }
+        // Zero spread is the identity.
+        let base: Vec<f64> = c.edges().iter().map(|e| e.max_delay).collect();
+        assert_eq!(perturbed_delays(&c, 0.0, 3), base);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Serializable basis snapshots for warm-started solves.
+//!
+//! A [`Basis`] records *which* standard-form columns were basic at an
+//! optimal solve, in problem-structure terms (user variable / slack /
+//! surplus / artificial of a standard row) rather than raw column indices,
+//! so a snapshot survives being applied to a *rebuilt* tableau of the same
+//! model — the situation every sweep-style workload is in after perturbing
+//! a right-hand side.
+//!
+//! Snapshots are captured automatically on every optimal
+//! [`Solution`](crate::Solution) (see [`Solution::basis`](crate::Solution::basis))
+//! and re-entered through [`Problem::solve_from_basis`](crate::Problem::solve_from_basis).
+//! Re-entry is *best effort by construction*: a snapshot that no longer
+//! matches the problem's standard form (dimensions changed, a row's RHS
+//! normalization flipped, a column disappeared) silently falls back to a
+//! cold two-phase solve, so warm starts can never change a verdict — only
+//! the work needed to reach it.
+//!
+//! Two pieces of derived data ride along:
+//!
+//! * `matrix_hash` — an FNV-1a hash over the standard-form constraint
+//!   *matrix* (coefficients only; the RHS is deliberately excluded). Two
+//!   problems with equal hashes have the same columns, so a factorization
+//!   of this basis is valid for both — exactly the RHS-only perturbation
+//!   case of delay sweeps.
+//! * `factor` — a lazily cached dense `B⁻¹` for the revised simplex,
+//!   shared across clones via `Arc` and filled in by the first warm solve
+//!   that has to refactorize. Subsequent warm solves from the same
+//!   snapshot (the per-topology cache of the sweep engine) skip the
+//!   `O(m³)` rebuild entirely.
+
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
+
+/// What one basic column was, in problem-structure terms. Mirrors the
+/// solver-internal `ColKind`, minus raw column indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) enum BasisEntry {
+    /// A column of user variable `var` (`negative` = the `x⁻` half of a
+    /// split free variable).
+    Structural { var: usize, negative: bool },
+    /// Slack of standard-form row `row`.
+    Slack { row: usize },
+    /// Surplus of standard-form row `row`.
+    Surplus { row: usize },
+    /// Artificial of standard-form row `row` (kept basic at zero on
+    /// redundant rows).
+    Artificial { row: usize },
+}
+
+/// A basis snapshot extracted from an optimal [`Solution`](crate::Solution),
+/// usable to warm-start later solves of the same (or a perturbed) model.
+///
+/// See the [module docs](crate::basis) for the compatibility and fallback
+/// rules. The snapshot is plain data (plus a shared factorization cache)
+/// and is cheap to clone and to keep in per-topology caches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Basis {
+    /// One entry per standard-form row, in basis-position order.
+    pub(crate) entries: Vec<BasisEntry>,
+    /// Fingerprint: number of user variables.
+    pub(crate) num_vars: usize,
+    /// Fingerprint: number of user constraint rows.
+    pub(crate) user_rows: usize,
+    /// Fingerprint: number of standard-form columns.
+    pub(crate) ncols: usize,
+    /// FNV-1a hash of the standard-form constraint matrix (no RHS).
+    pub(crate) matrix_hash: u64,
+    /// Cached dense `B⁻¹` of *this* basis, valid for any problem whose
+    /// `matrix_hash` matches. Filled by the first revised warm solve that
+    /// refactorizes; shared across clones.
+    pub(crate) factor: OnceLock<Arc<Vec<Vec<f64>>>>,
+}
+
+impl Basis {
+    /// Number of basic columns (= standard-form rows) in the snapshot.
+    pub fn size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Hash of the standard-form constraint matrix the snapshot was taken
+    /// from. Problems sharing this hash differ at most in their RHS, so a
+    /// cached factorization of the basis applies to them directly.
+    pub fn matrix_hash(&self) -> u64 {
+        self.matrix_hash
+    }
+
+    /// `true` once a warm solve has cached a factorization of this basis.
+    pub fn has_cached_factor(&self) -> bool {
+        self.factor.get().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_factor_cache() {
+        let b = Basis {
+            entries: vec![BasisEntry::Slack { row: 0 }],
+            num_vars: 1,
+            user_rows: 1,
+            ncols: 2,
+            matrix_hash: 42,
+            factor: OnceLock::new(),
+        };
+        assert!(!b.has_cached_factor());
+        b.factor
+            .set(Arc::new(vec![vec![1.0]]))
+            .expect("first set succeeds");
+        // A clone made *after* caching sees the same factor.
+        let c = b.clone();
+        assert!(c.has_cached_factor());
+        assert!(Arc::ptr_eq(
+            b.factor.get().expect("set"),
+            c.factor.get().expect("cloned")
+        ));
+    }
+
+    #[test]
+    fn accessors_report_snapshot_shape() {
+        let b = Basis {
+            entries: vec![
+                BasisEntry::Structural {
+                    var: 0,
+                    negative: false,
+                },
+                BasisEntry::Artificial { row: 1 },
+            ],
+            num_vars: 3,
+            user_rows: 2,
+            ncols: 7,
+            matrix_hash: 7,
+            factor: OnceLock::new(),
+        };
+        assert_eq!(b.size(), 2);
+        assert_eq!(b.matrix_hash(), 7);
+    }
+}

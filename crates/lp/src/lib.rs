@@ -30,7 +30,11 @@
 //!   simplex variant, geometric-mean equilibration, and one round of
 //!   iterative refinement, all verified against the *original* problem,
 //! * solve budgets ([`SolveBudget`]): wall-clock deadlines and iteration
-//!   allowances enforced inside both simplex pivot loops.
+//!   allowances enforced inside both simplex pivot loops,
+//! * basis warm-starting ([`Basis`], [`Problem::solve_from_basis`]): every
+//!   optimal solve snapshots its basis, and sweep-style workloads re-enter
+//!   it with a bounded dual/primal repair instead of a fresh phase 1 —
+//!   falling back to the cold path whenever the snapshot no longer fits.
 //!
 //! The SMO constraint matrices contain only `0, ±1` entries (§VI), so a dense
 //! f64 tableau with modest tolerances ([`EPS`]) is numerically comfortable.
@@ -60,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod basis;
 mod error;
 mod export;
 mod expr;
@@ -75,6 +80,7 @@ mod solution;
 mod tol;
 mod verify;
 
+pub use basis::Basis;
 pub use error::LpError;
 pub use export::write_lp;
 pub use expr::{LinExpr, VarId};

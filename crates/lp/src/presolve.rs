@@ -267,6 +267,7 @@ impl Presolved {
                 slacks: vec![],
                 iterations: reduced.iterations,
                 farkas: None,
+                basis: None,
             };
         }
 
@@ -372,7 +373,10 @@ impl Presolved {
             reduced_costs,
             slacks,
             iterations: reduced.iterations,
+            // The reduced problem's basis does not map onto the original
+            // rows; postsolved solutions are not warm-start sources.
             farkas: None,
+            basis: None,
         }
     }
 }
@@ -590,6 +594,7 @@ impl Problem {
                 slacks: vec![],
                 iterations: 0,
                 farkas: None,
+                basis: None,
             };
             return Ok(pre.postsolve(&empty));
         }

@@ -304,6 +304,76 @@ impl Problem {
             SimplexVariant::Revised => revised::solve_budgeted(self, budget),
         }
     }
+
+    /// Solves warm-starting from a basis snapshot captured by an earlier
+    /// optimal solve ([`Solution::basis`](crate::Solution::basis)) of this
+    /// or a perturbed copy of this model.
+    ///
+    /// The snapshot is installed and repaired with a bounded dual/primal
+    /// phase instead of a from-scratch phase 1; when it no longer fits the
+    /// model (dimensions changed, a row's standard form flipped, the basis
+    /// went singular, the repair budget ran out) the solve silently falls
+    /// back to the cold path. Warm starts therefore never change a
+    /// verdict — an `Infeasible`/`Unbounded` status and its Farkas
+    /// certificate always come from the proven cold phase-1 machinery.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve`].
+    pub fn solve_from_basis(&self, basis: &crate::Basis) -> Result<Solution, LpError> {
+        self.solve_from_basis_with(SimplexVariant::Dense, basis)
+    }
+
+    /// [`Problem::solve_from_basis`] with an explicit simplex
+    /// implementation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve`].
+    pub fn solve_from_basis_with(
+        &self,
+        variant: SimplexVariant,
+        basis: &crate::Basis,
+    ) -> Result<Solution, LpError> {
+        self.solve_from_basis_with_budget(variant, basis, crate::recover::SolveBudget::UNLIMITED)
+    }
+
+    /// [`Problem::solve_from_basis_with`] under a wall-clock / iteration
+    /// budget (shared by the warm attempt and any cold fallback).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve_with_budget`].
+    pub fn solve_from_basis_with_budget(
+        &self,
+        variant: SimplexVariant,
+        basis: &crate::Basis,
+        budget: crate::recover::SolveBudget,
+    ) -> Result<Solution, LpError> {
+        self.validate()?;
+        match variant {
+            SimplexVariant::Dense => simplex::solve_from_basis_budgeted(self, basis, budget),
+            SimplexVariant::Revised => revised::solve_from_basis_budgeted(self, basis, budget),
+        }
+    }
+
+    /// Fingerprint of the standard-form constraint *matrix* — the same
+    /// FNV-1a hash a basis snapshot carries
+    /// ([`Basis::matrix_hash`](crate::Basis::matrix_hash)).
+    ///
+    /// RHS values are deliberately excluded, so two models that differ only
+    /// in right-hand sides (e.g. the same circuit with perturbed delays)
+    /// share a fingerprint. Use it to key warm-start basis caches across a
+    /// batch of structurally identical problems.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError`] if the problem fails validation or standard-form
+    /// construction (no objective, malformed bounds, …).
+    pub fn matrix_fingerprint(&self) -> Result<u64, LpError> {
+        self.validate()?;
+        Ok(simplex::Tableau::build(self, None)?.matrix_hash)
+    }
 }
 
 impl fmt::Display for Problem {

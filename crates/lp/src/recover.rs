@@ -106,6 +106,10 @@ impl SolveBudget {
 /// One rung of the recovery ladder, recorded in the order attempted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecoveryStep {
+    /// Warm-started solve from a caller-supplied basis snapshot (only when
+    /// [`Problem::solve_certified_from_basis`] was given one). Falls back
+    /// to a cold solve internally if the snapshot does not fit.
+    WarmStart(SimplexVariant),
     /// Plain solve with the requested variant.
     Initial(SimplexVariant),
     /// Re-solve with the other simplex implementation.
@@ -120,6 +124,7 @@ impl RecoveryStep {
     /// Short human-readable name (for logs and reports).
     pub fn name(&self) -> &'static str {
         match self {
+            RecoveryStep::WarmStart(_) => "warm-start",
             RecoveryStep::Initial(_) => "initial",
             RecoveryStep::AlternateVariant(_) => "alternate-variant",
             RecoveryStep::Equilibrated(_) => "equilibrated",
@@ -265,6 +270,9 @@ fn refine(
         });
     }
     let mut out = delta.clone();
+    // The correction problem's basis is for the shifted data (its RHS sign
+    // normalization can differ); do not offer it as a warm-start source.
+    out.basis = None;
     for (x, (&d, &xhj)) in out.values.iter_mut().zip(delta.values.iter().zip(xh)) {
         *x = xhj + d / alpha;
     }
@@ -303,6 +311,26 @@ impl Problem {
     /// verdict certifies; any structural error ([`LpError::EmptyModel`],
     /// …) immediately, since no amount of re-solving fixes those.
     pub fn solve_certified(&self, policy: &RecoveryPolicy) -> Result<CertifiedSolution, LpError> {
+        self.solve_certified_from_basis(policy, None)
+    }
+
+    /// [`Problem::solve_certified`] with an optional warm-start basis: when
+    /// `basis` is `Some`, the ladder gets a leading
+    /// [`RecoveryStep::WarmStart`] rung that re-enters the snapshot via
+    /// [`Problem::solve_from_basis_with_budget`]. Certification is
+    /// unchanged — the warm solve's verdict is machine-checked against the
+    /// raw problem data exactly like a cold one, and every later rung is
+    /// cold, so a stale or corrupted snapshot can cost time but never
+    /// correctness.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve_certified`].
+    pub fn solve_certified_from_basis(
+        &self,
+        policy: &RecoveryPolicy,
+        basis: Option<&crate::Basis>,
+    ) -> Result<CertifiedSolution, LpError> {
         let start = Instant::now();
         let budget = policy.budget;
         let mut steps: Vec<RecoveryStep> = Vec::new();
@@ -313,16 +341,24 @@ impl Problem {
         let mut candidate: Option<Solution> = None;
 
         let alt = other(policy.variant);
-        let rungs: [RecoveryStep; 4] = [
+        let mut rungs: Vec<RecoveryStep> = Vec::with_capacity(5);
+        if basis.is_some() {
+            rungs.push(RecoveryStep::WarmStart(policy.variant));
+        }
+        rungs.extend([
             RecoveryStep::Initial(policy.variant),
             RecoveryStep::AlternateVariant(alt),
             RecoveryStep::Equilibrated(policy.variant),
             RecoveryStep::Refined(policy.variant),
-        ];
+        ]);
 
         for rung in rungs {
             steps.push(rung);
             let attempt: RungResult = match rung {
+                RecoveryStep::WarmStart(v) => {
+                    let b = basis.expect("warm rung only scheduled with a basis");
+                    self.solve_from_basis_with_budget(v, b, budget)
+                }
                 RecoveryStep::Initial(v) | RecoveryStep::AlternateVariant(v) => {
                     self.solve_with_budget(v, budget)
                 }

@@ -24,11 +24,13 @@
 // Index-heavy linear algebra: range loops are the clearest form here.
 #![allow(clippy::needless_range_loop)]
 
+use crate::basis::Basis;
 use crate::error::LpError;
 use crate::problem::Problem;
 use crate::simplex::{ColKind, Tableau};
 use crate::solution::{Solution, Status};
 use crate::EPS;
+use std::sync::Arc;
 
 /// Refactorize `B⁻¹` from scratch after this many eta factors.
 ///
@@ -51,8 +53,12 @@ struct RevisedCore {
     basis: Vec<usize>,
     in_basis: Vec<bool>,
     /// dense inverse of the basis at the last refactorization
-    /// (`None` = identity, the state before any refactorization)
-    binv: Option<Vec<Vec<f64>>>,
+    /// (`None` = identity, the state before any refactorization). Behind
+    /// an `Arc` so a warm start can adopt a snapshot's cached
+    /// factorization — shared across every solve and thread warm-starting
+    /// from the same basis — without copying the matrix; refactorization
+    /// always installs a fresh allocation, never mutates a shared one.
+    binv: Option<Arc<Vec<Vec<f64>>>>,
     /// eta factors applied after `binv`: (pivot row, direction d = B⁻¹ a_q)
     etas: Vec<(usize, Vec<f64>)>,
     /// current basic values x_B (kept in step with the basis)
@@ -201,7 +207,7 @@ impl RevisedCore {
                 }
             }
         }
-        self.binv = Some(inv);
+        self.binv = Some(Arc::new(inv));
         self.etas.clear();
         self.xb = self.ftran(&self.rhs.clone());
         Ok(())
@@ -442,8 +448,21 @@ fn solve_inner(
             slacks: vec![],
             iterations: core.iterations,
             farkas,
+            basis: None,
         });
     }
+    package_optimal(p, &skeleton, &core)
+}
+
+/// Packages an optimal [`RevisedCore`] as a [`Solution`], including the
+/// basis snapshot; when the core happens to hold a clean factorization
+/// (fresh refactorize, empty eta file), it is seeded into the snapshot's
+/// factor cache for free.
+fn package_optimal(
+    p: &Problem,
+    skeleton: &Tableau,
+    core: &RevisedCore,
+) -> Result<Solution, LpError> {
     // primal values
     let mut col_values = vec![0.0; core.ncols];
     for (r, &j) in core.basis.iter().enumerate() {
@@ -473,8 +492,14 @@ fn solve_inner(
             }
         })
         .collect();
+    let snapshot = skeleton.capture_basis_from(&core.basis);
+    if core.etas.is_empty() {
+        if let Some(binv) = &core.binv {
+            let _ = snapshot.factor.set(binv.clone());
+        }
+    }
     Ok(Solution {
-        status,
+        status: Status::Optimal,
         objective: Some(objective),
         values,
         duals,
@@ -482,7 +507,196 @@ fn solve_inner(
         slacks,
         iterations: core.iterations,
         farkas: None,
+        basis: Some(snapshot),
     })
+}
+
+/// Feasibility tolerance for warm-start repair decisions (matches the
+/// dense path's `WARM_FEAS`).
+const WARM_FEAS: f64 = 1e-7;
+
+/// Revised dual simplex on the current basis: restores `x_B ≥ 0` while
+/// preserving dual feasibility. Bounded by `max_pivots`; `Ok(false)` means
+/// "give up and fall back cold" (primal infeasibility detected, budget
+/// spent, or numerics disagree between BTRAN and FTRAN).
+fn dual_simplex(core: &mut RevisedCore, costs: &[f64]) -> Result<bool, LpError> {
+    let max_pivots = 2 * (core.m + core.ncols);
+    let mut pivots = 0usize;
+    loop {
+        // Leaving row: most negative basic value.
+        let mut leave = None;
+        let mut most = -WARM_FEAS;
+        for (r, &x) in core.xb.iter().enumerate() {
+            if x < most {
+                most = x;
+                leave = Some(r);
+            }
+        }
+        let Some(r) = leave else {
+            return Ok(true);
+        };
+        if pivots >= max_pivots {
+            return Ok(false);
+        }
+        if pivots.is_multiple_of(crate::recover::BUDGET_CHECK_EVERY) {
+            core.budget.check(core.iterations)?;
+        }
+        // Row r of B⁻¹ (for the alphas) and the duals (for the ratios).
+        let er: Vec<f64> = (0..core.m).map(|i| f64::from(u8::from(i == r))).collect();
+        let row = core.btran(&er);
+        let cb: Vec<f64> = core.basis.iter().map(|&j| costs[j]).collect();
+        let y = core.btran(&cb);
+        let mut enter = None;
+        let mut best = f64::INFINITY;
+        for j in 0..core.ncols {
+            if core.in_basis[j] || matches!(core.col_kinds[j], ColKind::Artificial { .. }) {
+                continue;
+            }
+            let alpha = core.sparse_dot(&row, j);
+            if alpha < -EPS {
+                let zj = (costs[j] - core.sparse_dot(&y, j)).max(0.0);
+                let ratio = zj / -alpha;
+                if ratio < best {
+                    best = ratio;
+                    enter = Some(j);
+                }
+            }
+        }
+        let Some(q) = enter else {
+            return Ok(false); // primal infeasible: certify via cold phase 1
+        };
+        let aq: Vec<f64> = {
+            let mut dense = vec![0.0; core.m];
+            for &(rr, v) in &core.cols[q] {
+                dense[rr] = v;
+            }
+            dense
+        };
+        let d = core.ftran(&aq);
+        if d[r].abs() <= EPS {
+            return Ok(false); // BTRAN screen passed but FTRAN pivot is tiny
+        }
+        let theta = core.xb[r] / d[r];
+        for i in 0..core.m {
+            if i != r {
+                core.xb[i] -= theta * d[i];
+                if core.xb[i] < 0.0 && core.xb[i] > -1e-10 {
+                    core.xb[i] = 0.0;
+                }
+            }
+        }
+        core.xb[r] = theta;
+        core.in_basis[core.basis[r]] = false;
+        core.in_basis[q] = true;
+        core.basis[r] = q;
+        core.etas.push((r, d));
+        core.iterations += 1;
+        pivots += 1;
+        if core.etas.len() >= core.refactor_every && core.refactorize().is_err() {
+            return Ok(false);
+        }
+    }
+}
+
+/// Installs `basis` into `core` and repairs it to optimality without a
+/// phase 1. Returns `Ok(false)` for any condition that should fall back to
+/// the cold path; only [`LpError::Budget`] propagates.
+fn warm_optimize(
+    core: &mut RevisedCore,
+    skeleton: &Tableau,
+    basis: &Basis,
+) -> Result<bool, LpError> {
+    let Some(targets) = skeleton.basis_columns(basis) else {
+        return Ok(false);
+    };
+
+    // --- install: adopt the snapshot basis and get B⁻¹ -----------------
+    core.basis = targets;
+    core.in_basis = vec![false; core.ncols];
+    for &j in &core.basis {
+        core.in_basis[j] = true;
+    }
+    core.etas.clear();
+    let cached = (skeleton.matrix_hash == basis.matrix_hash)
+        .then(|| basis.factor.get().cloned())
+        .flatten();
+    if let Some(factor) = cached {
+        // Same matrix ⇒ the snapshot's factorization is this basis's B⁻¹.
+        // Adopted by reference: no copy, and safe to share across threads
+        // because refactorization replaces rather than mutates it.
+        core.binv = Some(factor);
+        let rhs = core.rhs.clone();
+        core.xb = core.ftran(&rhs);
+    } else {
+        if core.refactorize().is_err() {
+            return Ok(false); // snapshot basis singular for this matrix
+        }
+        if skeleton.matrix_hash == basis.matrix_hash {
+            if let Some(binv) = &core.binv {
+                let _ = basis.factor.set(binv.clone());
+            }
+        }
+    }
+
+    // --- classify the starting point ------------------------------------
+    let costs = core.costs.clone();
+    let primal_ok = core.xb.iter().all(|&x| x >= -WARM_FEAS);
+    if !primal_ok {
+        let cb: Vec<f64> = core.basis.iter().map(|&j| costs[j]).collect();
+        let y = core.btran(&cb);
+        let dual_ok = (0..core.ncols).all(|j| {
+            core.in_basis[j]
+                || matches!(core.col_kinds[j], ColKind::Artificial { .. })
+                || costs[j] - core.sparse_dot(&y, j) >= -WARM_FEAS
+        });
+        if !dual_ok {
+            return Ok(false);
+        }
+        if !dual_simplex(core, &costs)? {
+            return Ok(false);
+        }
+    }
+    for x in &mut core.xb {
+        if (-WARM_FEAS..0.0).contains(x) {
+            *x = 0.0;
+        }
+    }
+    // A warm path must never claim infeasibility.
+    if core.artificial_infeasibility() > WARM_FEAS {
+        return Ok(false);
+    }
+
+    // --- primal cleanup (phase 2 from the repaired basis) ---------------
+    let limit = 50_000 + 200 * (core.m + core.ncols);
+    match core.phase(&costs, false, limit) {
+        Ok(true) => {}
+        Ok(false) => return Ok(false), // suspicious unbounded: verify cold
+        Err(e @ LpError::Budget { .. }) => return Err(e),
+        Err(_) => return Ok(false),
+    }
+    if core.artificial_infeasibility() > WARM_FEAS {
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+/// Entry point used by [`Problem::solve_from_basis_with_budget`]: solve
+/// warm from `basis` with the revised simplex, falling back to the cold
+/// two-phase path whenever the snapshot cannot be installed and repaired
+/// cleanly.
+pub(crate) fn solve_from_basis_budgeted(
+    p: &Problem,
+    basis: &Basis,
+    budget: crate::recover::SolveBudget,
+) -> Result<Solution, LpError> {
+    let skeleton = Tableau::build(p, None)?;
+    let mut core = RevisedCore::from_tableau(&skeleton);
+    core.budget = budget;
+    if warm_optimize(&mut core, &skeleton, basis)? {
+        package_optimal(p, &skeleton, &core)
+    } else {
+        solve_inner(p, REFACTOR_EVERY, budget)
+    }
 }
 
 #[cfg(test)]
@@ -593,6 +807,48 @@ mod tests {
             r.objective().expect("optimal")
         ));
         assert!(r.iterations() > 7, "refactorization must have happened");
+    }
+
+    #[test]
+    fn warm_start_reuses_a_cached_factor_across_rhs_sweeps() {
+        // A chain model large enough that warm repair is visibly cheaper
+        // than a cold solve, swept over one RHS.
+        let mut p = Problem::new();
+        let n = 40;
+        let xs: Vec<_> = (0..n).map(|i| p.add_var(format!("x{i}"))).collect();
+        let mut obj = LinExpr::new();
+        let mut first = None;
+        for (i, &x) in xs.iter().enumerate() {
+            let c = p.constrain(x.into(), Sense::Ge, 1.0 + (i % 5) as f64);
+            if i == 0 {
+                first = Some(c);
+            }
+            if i > 0 {
+                p.constrain(LinExpr::from(x) - xs[i - 1], Sense::Ge, 0.5);
+            }
+            obj = obj + x;
+        }
+        p.minimize(obj);
+        let cold = p.solve_with(SimplexVariant::Revised).unwrap();
+        let basis = cold.basis().expect("optimal captures basis").clone();
+        let first = first.unwrap();
+        for rhs in [2.0, 3.5, 5.0] {
+            p.set_rhs(first, rhs);
+            let warm = p
+                .solve_from_basis_with(SimplexVariant::Revised, &basis)
+                .unwrap();
+            let check = p.solve_with(SimplexVariant::Revised).unwrap();
+            assert!(near(warm.objective().unwrap(), check.objective().unwrap()));
+            assert!(
+                warm.iterations() < check.iterations(),
+                "warm {} vs cold {} iterations at rhs {rhs}",
+                warm.iterations(),
+                check.iterations()
+            );
+        }
+        // The first warm solve refactorized once and cached the factor for
+        // the whole sweep (the matrix hash is RHS-independent).
+        assert!(basis.has_cached_factor());
     }
 
     #[test]

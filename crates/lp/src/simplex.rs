@@ -20,10 +20,12 @@
 //! is transformed by every pivot and is used by [`crate::parametric`] to run
 //! the Gass–Saaty parametric-RHS procedure on the optimal tableau.
 
+use crate::basis::{Basis, BasisEntry};
 use crate::error::LpError;
 use crate::problem::{Objective, Problem, Sense};
 use crate::solution::{Solution, Status};
 use crate::EPS;
+use std::sync::OnceLock;
 
 /// What a standard-form column represents.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +73,10 @@ pub(crate) struct Tableau {
     dual_col: Vec<usize>,
     /// Number of leading standard rows that correspond 1:1 to user rows.
     pub(crate) user_rows: usize,
+    /// FNV-1a hash of the standard-form matrix (coefficients only, no
+    /// RHS), computed at build time before any pivot. Two builds with the
+    /// same hash share every column, so a basis factorization carries over.
+    pub(crate) matrix_hash: u64,
     var_cols: Vec<VarCols>,
     pub(crate) iterations: usize,
     /// Caller-supplied wall-clock / iteration budget, consulted inside
@@ -270,6 +276,23 @@ impl Tableau {
             }
         }
 
+        // --- matrix hash (pre-pivot, coefficients only) -------------------
+        // FNV-1a over the sparse (row, col, bits) triples. The RHS and the
+        // parametric column are excluded on purpose: a basis factorization
+        // depends only on the matrix, and RHS-only perturbations (delay
+        // sweeps) must keep the hash — and thus the cached factor — valid.
+        let mut matrix_hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for (r, row) in tab.iter().enumerate() {
+            for (j, &v) in row.iter().take(ncols).enumerate() {
+                if v != 0.0 {
+                    for word in [r as u64, j as u64, v.to_bits()] {
+                        matrix_hash ^= word;
+                        matrix_hash = matrix_hash.wrapping_mul(0x0000_0100_0000_01b3);
+                    }
+                }
+            }
+        }
+
         Ok(Tableau {
             tab,
             basis,
@@ -282,10 +305,71 @@ impl Tableau {
             row_flip,
             dual_col,
             user_rows: p.rows.len(),
+            matrix_hash,
             var_cols,
             iterations: 0,
             budget: crate::recover::SolveBudget::UNLIMITED,
         })
+    }
+
+    /// Snapshots an arbitrary basic-column list as a [`Basis`] in
+    /// problem-structure terms (used by both simplex variants).
+    pub(crate) fn capture_basis_from(&self, basic: &[usize]) -> Basis {
+        let entries = basic
+            .iter()
+            .map(|&b| match self.col_kinds[b] {
+                ColKind::Structural { var, sign } => BasisEntry::Structural {
+                    var,
+                    negative: sign < 0.0,
+                },
+                ColKind::Slack { row } => BasisEntry::Slack { row },
+                ColKind::Surplus { row } => BasisEntry::Surplus { row },
+                ColKind::Artificial { row } => BasisEntry::Artificial { row },
+            })
+            .collect();
+        Basis {
+            entries,
+            num_vars: self.var_cols.len(),
+            user_rows: self.user_rows,
+            ncols: self.ncols,
+            matrix_hash: self.matrix_hash,
+            factor: OnceLock::new(),
+        }
+    }
+
+    /// Snapshots the tableau's current basis.
+    pub(crate) fn capture_basis(&self) -> Basis {
+        self.capture_basis_from(&self.basis)
+    }
+
+    /// Resolves a snapshot's entries to column indices of *this* tableau,
+    /// or `None` when the snapshot is incompatible (different dimensions,
+    /// or an entry with no matching column — e.g. a row whose RHS
+    /// normalization flipped, swapping its slack for a surplus).
+    pub(crate) fn basis_columns(&self, basis: &Basis) -> Option<Vec<usize>> {
+        if basis.num_vars != self.var_cols.len()
+            || basis.user_rows != self.user_rows
+            || basis.ncols != self.ncols
+            || basis.entries.len() != self.rows()
+        {
+            return None;
+        }
+        basis
+            .entries
+            .iter()
+            .map(|e| {
+                let want = match *e {
+                    BasisEntry::Structural { var, negative } => ColKind::Structural {
+                        var,
+                        sign: if negative { -1.0 } else { 1.0 },
+                    },
+                    BasisEntry::Slack { row } => ColKind::Slack { row },
+                    BasisEntry::Surplus { row } => ColKind::Surplus { row },
+                    BasisEntry::Artificial { row } => ColKind::Artificial { row },
+                };
+                self.col_kinds.iter().position(|k| *k == want)
+            })
+            .collect()
     }
 
     /// Recomputes the reduced-cost row `z = c − c_B·B⁻¹A` for cost vector `c`.
@@ -643,34 +727,39 @@ pub(crate) fn solve_with_tableau(
     finish_solve(p, t)
 }
 
+/// Packages an optimal tableau (reduced costs in `t.z`) as a [`Solution`],
+/// including the basis snapshot for warm restarts.
+fn package_optimal(p: &Problem, t: &Tableau) -> Solution {
+    let values = t.user_values();
+    let slacks = p
+        .rows
+        .iter()
+        .map(|r| {
+            let lhs = r.expr.eval(&values);
+            match r.sense {
+                Sense::Le | Sense::Eq => r.rhs - lhs,
+                Sense::Ge => lhs - r.rhs,
+            }
+        })
+        .collect();
+    Solution {
+        status: Status::Optimal,
+        objective: Some(t.user_objective(p)),
+        duals: t.user_duals(),
+        reduced_costs: t.user_reduced_costs(),
+        values,
+        slacks,
+        iterations: t.iterations,
+        farkas: None,
+        basis: Some(t.capture_basis()),
+    }
+}
+
 /// Runs the already-built tableau to termination and packages the result.
 fn finish_solve(p: &Problem, mut t: Tableau) -> Result<(Solution, Option<Tableau>), LpError> {
     let status = t.optimize()?;
     let solution = match status {
-        Status::Optimal => {
-            let values = t.user_values();
-            let slacks = p
-                .rows
-                .iter()
-                .map(|r| {
-                    let lhs = r.expr.eval(&values);
-                    match r.sense {
-                        Sense::Le | Sense::Eq => r.rhs - lhs,
-                        Sense::Ge => lhs - r.rhs,
-                    }
-                })
-                .collect();
-            Solution {
-                status,
-                objective: Some(t.user_objective(p)),
-                duals: t.user_duals(),
-                reduced_costs: t.user_reduced_costs(),
-                values,
-                slacks,
-                iterations: t.iterations,
-                farkas: None,
-            }
-        }
+        Status::Optimal => package_optimal(p, &t),
         _ => Solution {
             status,
             objective: None,
@@ -683,6 +772,7 @@ fn finish_solve(p: &Problem, mut t: Tableau) -> Result<(Solution, Option<Tableau
             // are exactly a Farkas certificate of infeasibility.
             farkas: (status == Status::Infeasible)
                 .then(|| t.map_feasibility_duals(&t.phase1_duals())),
+            basis: None,
         },
     };
     let keep = solution.status == Status::Optimal;
@@ -708,8 +798,203 @@ pub(crate) fn solve_with_tableau_budgeted(
     finish_solve(p, t)
 }
 
+/// Outcome of a warm-start attempt: a repaired optimal tableau, or a
+/// signal to fall back to the cold two-phase path.
+enum Warm {
+    Solved,
+    Fallback,
+}
+
+/// Feasibility tolerance for warm-start repair decisions; matches the
+/// solvers' absolute phase-1 threshold rather than the pivot `EPS`.
+const WARM_FEAS: f64 = 1e-7;
+
+/// Dense dual simplex on the current basis: restores `rhs ≥ 0` while
+/// preserving dual feasibility of `t.z` (which must already hold). Pivots
+/// are bounded by `max_pivots`.
+///
+/// Returns `Ok(true)` when primal feasibility is reached, `Ok(false)` when
+/// the repair gives up (primal infeasibility detected, pivot budget spent,
+/// or a numerically hopeless row) — the caller falls back to a cold solve
+/// either way, so a `false` is never wrong, only slower.
+fn dual_simplex(t: &mut Tableau, max_pivots: usize) -> Result<bool, LpError> {
+    let mut pivots = 0usize;
+    loop {
+        // Leaving row: most negative basic value.
+        let mut leave = None;
+        let mut most = -WARM_FEAS;
+        for r in 0..t.rows() {
+            if t.rhs(r) < most {
+                most = t.rhs(r);
+                leave = Some(r);
+            }
+        }
+        let Some(r) = leave else {
+            return Ok(true);
+        };
+        if pivots >= max_pivots {
+            return Ok(false);
+        }
+        if pivots.is_multiple_of(crate::recover::BUDGET_CHECK_EVERY) {
+            t.budget.check(t.iterations)?;
+        }
+        // Entering column: dual ratio test over the negative entries of the
+        // leaving row. Artificials are barred (they never re-enter); basic
+        // columns have a unit/zero entry in this row and are excluded by
+        // the `< -EPS` screen. First-come tie-breaking keeps the lowest
+        // index, Bland-style.
+        let mut enter = None;
+        let mut best = f64::INFINITY;
+        for j in 0..t.ncols {
+            if matches!(t.col_kinds[j], ColKind::Artificial { .. }) {
+                continue;
+            }
+            let a = t.tab[r][j];
+            if a < -EPS {
+                let ratio = t.z[j].max(0.0) / -a;
+                if ratio < best {
+                    best = ratio;
+                    enter = Some(j);
+                }
+            }
+        }
+        let Some(j) = enter else {
+            // Row r reads `(≥0 coeffs)·x = rhs < 0`: primal infeasible.
+            // Fall back so the Farkas certificate comes from phase 1.
+            return Ok(false);
+        };
+        t.pivot(r, j);
+        pivots += 1;
+    }
+}
+
+/// Attempts to install `basis` into the freshly built tableau `t` and
+/// repair it to optimality without a phase 1.
+///
+/// Install = bounded Gauss–Jordan pivots onto the snapshot's columns;
+/// repair = dual simplex when the start is primal-infeasible but
+/// dual-feasible (the RHS-perturbation case), then a primal phase-2
+/// cleanup. Every failure mode returns [`Warm::Fallback`]; only
+/// [`LpError::Budget`] propagates as an error.
+fn warm_optimize(t: &mut Tableau, basis: &Basis) -> Result<Warm, LpError> {
+    let Some(targets) = t.basis_columns(basis) else {
+        return Ok(Warm::Fallback);
+    };
+    let m = t.rows();
+
+    // --- install ------------------------------------------------------
+    // First claim the targets that are basic already (the initial basis is
+    // slacks + artificials, so snapshot slacks usually are), then pivot
+    // the rest in, choosing the largest available pivot each time.
+    let mut placed = vec![false; m];
+    for &jc in &targets {
+        if let Some(r) = t.basis.iter().position(|&b| b == jc) {
+            placed[r] = true;
+        }
+    }
+    for &jc in &targets {
+        if t.basis.contains(&jc) {
+            continue;
+        }
+        let mut best_r = None;
+        let mut best_a = 1e-9;
+        for (r, &done) in placed.iter().enumerate() {
+            if done {
+                continue;
+            }
+            let a = t.tab[r][jc].abs();
+            if a > best_a {
+                best_a = a;
+                best_r = Some(r);
+            }
+        }
+        let Some(r) = best_r else {
+            return Ok(Warm::Fallback); // snapshot basis singular here
+        };
+        t.pivot(r, jc);
+        placed[r] = true;
+    }
+    // Install pivots are bookkeeping, not simplex work: report only the
+    // repair pivots so warm-vs-cold iteration counts compare honestly.
+    t.iterations = 0;
+
+    // --- classify the starting point ----------------------------------
+    let costs = t.costs.clone();
+    t.z = t.reduced_costs_for(&costs);
+    let primal_ok = (0..m).all(|r| t.rhs(r) >= -WARM_FEAS);
+    if !primal_ok {
+        let in_basis = {
+            let mut flags = vec![false; t.ncols];
+            for &b in &t.basis {
+                flags[b] = true;
+            }
+            flags
+        };
+        let dual_ok = (0..t.ncols).all(|j| {
+            in_basis[j]
+                || matches!(t.col_kinds[j], ColKind::Artificial { .. })
+                || t.z[j] >= -WARM_FEAS
+        });
+        if !dual_ok {
+            return Ok(Warm::Fallback);
+        }
+        let repair_budget = 2 * (m + t.ncols);
+        if !dual_simplex(t, repair_budget)? {
+            return Ok(Warm::Fallback);
+        }
+    }
+    // Snap residual tolerance-level negatives so the primal ratio test
+    // starts from a clean feasible point.
+    for r in 0..m {
+        let v = t.rhs(r);
+        if (-WARM_FEAS..0.0).contains(&v) {
+            let c = t.ncols;
+            t.tab[r][c] = 0.0;
+        }
+    }
+    // A warm path must never claim infeasibility: positive artificial mass
+    // means the snapshot dragged in an artificial the repair cannot judge.
+    if t.artificial_infeasibility() > WARM_FEAS {
+        return Ok(Warm::Fallback);
+    }
+
+    // --- primal cleanup (phase 2 from the repaired basis) --------------
+    let limit = 50_000 + 200 * (m + t.ncols);
+    match t.primal_loop(&costs, false, limit) {
+        Ok(true) => {}
+        Ok(false) => return Ok(Warm::Fallback), // suspicious: verify cold
+        Err(e @ LpError::Budget { .. }) => return Err(e),
+        Err(_) => return Ok(Warm::Fallback),
+    }
+    if t.artificial_infeasibility() > WARM_FEAS {
+        return Ok(Warm::Fallback);
+    }
+    Ok(Warm::Solved)
+}
+
+/// Entry point used by [`Problem::solve_from_basis_with_budget`]: solve
+/// warm from `basis`, falling back to the cold two-phase path whenever the
+/// snapshot cannot be installed and repaired cleanly.
+pub(crate) fn solve_from_basis_budgeted(
+    p: &Problem,
+    basis: &Basis,
+    budget: crate::recover::SolveBudget,
+) -> Result<Solution, LpError> {
+    let mut t = Tableau::build(p, None)?;
+    t.budget = budget;
+    match warm_optimize(&mut t, basis)? {
+        Warm::Solved => Ok(package_optimal(p, &t)),
+        Warm::Fallback => {
+            let mut cold = Tableau::build(p, None)?;
+            cold.budget = budget;
+            finish_solve(p, cold).map(|(s, _)| s)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::Tableau;
     use crate::{LinExpr, Problem, Sense, Status, VarId};
 
     fn near(a: f64, b: f64) -> bool {
@@ -892,6 +1177,84 @@ mod tests {
         p.minimize(LinExpr::from(x) + 10.0);
         let s = p.solve().unwrap().into_optimal().unwrap();
         assert!(near(s.objective(), 12.0));
+    }
+
+    #[test]
+    fn warm_start_agrees_after_rhs_perturbation() {
+        // Solve, perturb a RHS, warm-start from the stale basis: the
+        // verdict must match a cold re-solve exactly.
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.constrain(x.into(), Sense::Le, 4.0);
+        p.constrain(2.0 * y, Sense::Le, 12.0);
+        let c3 = p.constrain(3.0 * x + 2.0 * y, Sense::Le, 18.0);
+        p.maximize(3.0 * x + 5.0 * y);
+        let cold = p.solve().unwrap();
+        let basis = cold
+            .basis()
+            .expect("optimal solve captures a basis")
+            .clone();
+        p.set_rhs(c3, 15.0);
+        let warm = p.solve_from_basis(&basis).unwrap();
+        let cold2 = p.solve().unwrap();
+        assert_eq!(warm.status(), Status::Optimal);
+        assert!(near(warm.objective().unwrap(), cold2.objective().unwrap()));
+        // The warm solve skipped phase 1: strictly fewer pivots.
+        assert!(warm.iterations() <= cold2.iterations());
+    }
+
+    #[test]
+    fn warm_start_falls_back_when_structure_flips() {
+        // Driving the RHS negative flips the row's standard-form sign
+        // (slack becomes surplus + artificial): the snapshot no longer
+        // matches and the warm path must fall back to a correct cold solve.
+        let mut p = Problem::new();
+        let x = p.add_var_bounded("x", -10.0, f64::INFINITY);
+        let c = p.constrain(x.into(), Sense::Ge, 2.0);
+        p.minimize(x.into());
+        let cold = p.solve().unwrap();
+        let basis = cold.basis().unwrap().clone();
+        p.set_rhs(c, -5.0);
+        let warm = p.solve_from_basis(&basis).unwrap();
+        assert!(near(warm.objective().unwrap(), -5.0));
+    }
+
+    #[test]
+    fn warm_start_never_claims_uncertified_infeasibility() {
+        // Perturb the model into infeasibility: the warm solve must come
+        // back Infeasible *with* a Farkas certificate (i.e. via the cold
+        // phase-1 path, since the dual repair cannot certify).
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let hi = p.constrain(x.into(), Sense::Le, 5.0);
+        p.constrain(x.into(), Sense::Ge, 2.0);
+        p.minimize(x.into());
+        let cold = p.solve().unwrap();
+        let basis = cold.basis().unwrap().clone();
+        p.set_rhs(hi, 1.0);
+        let warm = p.solve_from_basis(&basis).unwrap();
+        assert_eq!(warm.status(), Status::Infeasible);
+        let y = warm.farkas().expect("infeasible carries Farkas");
+        assert!(crate::certifies_infeasibility(&p, y));
+    }
+
+    #[test]
+    fn matrix_hash_ignores_rhs_but_not_coefficients() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let c = p.constrain(2.0 * x, Sense::Ge, 3.0);
+        p.minimize(x.into());
+        let h1 = Tableau::build(&p, None).unwrap().matrix_hash;
+        p.set_rhs(c, 7.0);
+        let h2 = Tableau::build(&p, None).unwrap().matrix_hash;
+        assert_eq!(h1, h2, "RHS change must keep the matrix hash");
+        let mut q = Problem::new();
+        let x = q.add_var("x");
+        q.constrain(4.0 * x, Sense::Ge, 3.0);
+        q.minimize(x.into());
+        let h3 = Tableau::build(&q, None).unwrap().matrix_hash;
+        assert_ne!(h1, h3, "coefficient change must change the hash");
     }
 
     #[test]

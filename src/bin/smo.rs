@@ -15,17 +15,19 @@
 //! smo lint     <netlist>            structural sanity checks
 //! smo analyze  <netlist>            cycle-time bracket + presolve report
 //! smo diagnose <netlist> [--cycle-time T]   why is there no schedule at T?
+//! smo sweep    <netlist> [--param tc|delay]  warm-started parameter sweep
 //! ```
 //!
 //! Netlists use the `smo_circuit::netlist` text format; files containing
 //! `gate`/`wire` lines are parsed gate-level and extracted automatically.
 
 use smo::analyze::{analyze, diagnose, lint, AnalyzeError};
+use smo::circuit::EdgeId;
 use smo::circuit::{lump_equivalent_latches, netlist, to_dot, Circuit, ClockSchedule};
 use smo::sim::{monte_carlo, simulate, MonteCarloOptions, SimOptions};
 use smo::timing::{
-    min_cycle_time, min_cycle_time_with, render_solution, timing_report, verify, MlpOptions,
-    TimingModel,
+    min_cycle_time, min_cycle_time_with, render_solution, sweep_cycle_time, timing_report, verify,
+    MlpOptions, SweepOptions, SweepParam, SweepReport, TimingModel,
 };
 use std::process::ExitCode;
 
@@ -67,7 +69,15 @@ const USAGE: &str = "usage:
                                                  Farkas-certified explanation
                                                  of why T is unachievable
   smo montecarlo <netlist> <scale> [runs]        jittered-margin campaign at
-                                                 scale × the optimal schedule";
+                                                 scale × the optimal schedule
+  smo sweep    <netlist> [--param tc|delay] [--runs N] [--jobs N] [--json]
+               [--edge E] [--max-delay D] [--spread S] [--seed S] [--certify]
+                                                 warm-started cycle-time sweep:
+                                                 `tc` grids one edge's delay
+                                                 (exact breakpoints included),
+                                                 `delay` jitters every delay
+                                                 by ±spread; output is
+                                                 identical for any --jobs";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
@@ -362,8 +372,174 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             );
             Ok(ExitCode::SUCCESS)
         }
+        "sweep" => {
+            let mut path = None;
+            let mut param = None;
+            let mut runs = 16usize;
+            let mut jobs = 1usize;
+            let mut edge = 0usize;
+            let mut max_delay = None;
+            let mut spread = 0.1f64;
+            let mut seed = 0u64;
+            let mut certify = false;
+            let mut json = false;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--param" => {
+                        param = Some(match it.next().map(String::as_str) {
+                            Some("tc") => "tc",
+                            Some("delay") => "delay",
+                            other => {
+                                return Err(format!(
+                                    "--param must be `tc` or `delay`, got {other:?}"
+                                ))
+                            }
+                        });
+                    }
+                    "--runs" => runs = parse_arg(&mut it, "--runs")?,
+                    "--jobs" => jobs = parse_arg(&mut it, "--jobs")?,
+                    "--edge" => edge = parse_arg(&mut it, "--edge")?,
+                    "--max-delay" => max_delay = Some(parse_arg(&mut it, "--max-delay")?),
+                    "--spread" => spread = parse_arg(&mut it, "--spread")?,
+                    "--seed" => seed = parse_arg(&mut it, "--seed")?,
+                    "--certify" => certify = true,
+                    "--json" => json = true,
+                    other if path.is_none() && !other.starts_with('-') => {
+                        path = Some(other.to_string());
+                    }
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            let circuit = load(&path.ok_or("missing netlist path")?)?;
+            if runs == 0 {
+                return Err("run count must be at least 1".into());
+            }
+            let param = match param.unwrap_or("delay") {
+                "tc" => {
+                    if edge >= circuit.num_edges() {
+                        return Err(format!(
+                            "--edge {edge} out of range ({} edges)",
+                            circuit.num_edges()
+                        ));
+                    }
+                    // Default range: up to twice the edge's present delay.
+                    let max_delay =
+                        max_delay.unwrap_or(2.0 * circuit.edge(EdgeId::new(edge)).max_delay);
+                    SweepParam::Tc {
+                        edge: EdgeId::new(edge),
+                        max_delay,
+                    }
+                }
+                _ => SweepParam::Delay { spread },
+            };
+            let options = SweepOptions {
+                param,
+                runs,
+                seed,
+                jobs,
+                certify,
+                ..Default::default()
+            };
+            let reports = sweep_cycle_time(std::slice::from_ref(&circuit), &options)
+                .map_err(|e| e.to_string())?;
+            let report = &reports[0];
+            if json {
+                println!("{}", sweep_json(report, &options));
+            } else {
+                println!(
+                    "base: Tc = {:.6} ({} cold pivots)",
+                    report.base_cycle_time, report.base_iterations
+                );
+                println!(
+                    "{} warm re-solve(s): Tc in [{:.6}, {:.6}], mean {:.6}, {} total pivots",
+                    report.runs.len(),
+                    report.min_cycle_time,
+                    report.max_cycle_time,
+                    report.mean_cycle_time,
+                    report.warm_iterations
+                );
+                if !report.breakpoints.is_empty() {
+                    let bps: Vec<String> = report
+                        .breakpoints
+                        .iter()
+                        .map(|b| format!("{b:.6}"))
+                        .collect();
+                    println!("exact Tc*(Δ) breakpoints: {}", bps.join(", "));
+                }
+                for run in &report.runs {
+                    println!(
+                        "  run {:4}  param {:>12.6}  Tc {:>12.6}  pivots {:4}",
+                        run.index, run.value, run.cycle_time, run.iterations
+                    );
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+/// Parses the value following a flag, e.g. `--runs 32`.
+fn parse_arg<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|e| format!("bad {flag} value: {e}"))
+}
+
+/// Renders a `smo sweep` report as JSON. Deliberately excludes anything
+/// wall-clock-dependent so the bytes are identical for any `--jobs` value.
+fn sweep_json(report: &SweepReport, options: &SweepOptions) -> String {
+    let mut out = String::from("{\n");
+    match &options.param {
+        SweepParam::Tc { edge, max_delay } => {
+            out.push_str(&format!(
+                "  \"param\": \"tc\",\n  \"edge\": {},\n  \"max_delay\": {:.6},\n",
+                edge.index(),
+                max_delay
+            ));
+        }
+        SweepParam::Delay { spread } => {
+            out.push_str(&format!(
+                "  \"param\": \"delay\",\n  \"spread\": {spread:.6},\n  \"seed\": {},\n",
+                options.seed
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "  \"certified\": {},\n  \"base_cycle_time\": {:.6},\n  \"base_iterations\": {},\n",
+        options.certify, report.base_cycle_time, report.base_iterations
+    ));
+    out.push_str(&format!(
+        "  \"min_cycle_time\": {:.6},\n  \"max_cycle_time\": {:.6},\n  \"mean_cycle_time\": {:.6},\n  \"warm_iterations\": {},\n",
+        report.min_cycle_time, report.max_cycle_time, report.mean_cycle_time, report.warm_iterations
+    ));
+    out.push_str("  \"breakpoints\": [");
+    for (i, b) in report.breakpoints.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{b:.6}"));
+    }
+    out.push_str("],\n  \"runs\": [");
+    for (i, run) in report.runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"index\": {}, \"value\": {:.6}, \"cycle_time\": {:.6}, \"iterations\": {}}}",
+            run.index, run.value, run.cycle_time, run.iterations
+        ));
+    }
+    out.push_str("\n  ]\n}");
+    out
 }
 
 /// Renders a `smo solve` result as a JSON object (hand-rolled, matching

@@ -3,6 +3,8 @@
 //! non-empty bounded polygon lies at a vertex, and all vertices can be
 //! enumerated as pairwise intersections of constraint boundaries.
 
+mod common;
+
 use proptest::prelude::*;
 use smo::lp::{LinExpr, Problem, Sense, Status};
 
@@ -139,8 +141,11 @@ proptest! {
         const EPS: f64 = 1e-5;
         for (i, id) in ids.iter().enumerate() {
             let dual = sol0.dual(*id);
-            let plus = build(EPS, i).0.solve().expect("solves");
-            let minus = build(-EPS, i).0.solve().expect("solves");
+            // The perturbed problems differ from `p0` in one RHS entry only,
+            // so the base optimal basis is a genuine warm start; the helper
+            // asserts the warm re-solves agree with these cold verdicts.
+            let plus = common::solve_checked(&build(EPS, i).0, sol0.basis());
+            let minus = common::solve_checked(&build(-EPS, i).0, sol0.basis());
             let (Some(zp), Some(zm)) = (plus.objective(), minus.objective()) else {
                 continue; // perturbation made it infeasible: degenerate edge
             };

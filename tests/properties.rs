@@ -1,6 +1,8 @@
 //! Property-based tests (proptest) on the core invariants of the SMO
 //! engine, exercised through randomly generated circuits.
 
+mod common;
+
 use proptest::prelude::*;
 use smo::circuit::{netlist, CircuitBuilder, PhaseId, Synchronizer};
 use smo::gen::random::{random_circuit, GenConfig};
@@ -87,22 +89,26 @@ proptest! {
     }
 
     /// Increasing a combinational delay can never *decrease* the optimum.
+    /// The re-solve warm-starts from the base optimal basis (a delay bump
+    /// is an RHS-only edit), so this doubles as a warm-start differential.
     #[test]
     fn prop_tc_monotone_in_delays(spec in spec_strategy(), extra in 0.1f64..40.0, which in 0usize..64) {
         prop_assume!(!spec.edges.is_empty());
-        let base = min_cycle_time(&build(&spec)).expect("solves").cycle_time();
+        let (base, basis) = common::min_tc_checked(&build(&spec), None);
         let mut bumped = spec.clone();
         let idx = which % bumped.edges.len();
         bumped.edges[idx].2 += extra;
-        let after = min_cycle_time(&build(&bumped)).expect("solves").cycle_time();
+        let (after, _) = common::min_tc_checked(&build(&bumped), Some(&basis));
         prop_assert!(after >= base - 1e-6, "delay bump reduced Tc: {base} → {after}");
     }
 
-    /// Scaling every delay parameter by λ scales the optimum by λ.
+    /// Scaling every delay parameter by λ scales the optimum by λ. Like the
+    /// monotonicity test, the scaled circuit re-solves through the basis of
+    /// the unscaled optimum (scaling touches only RHS data).
     #[test]
     fn prop_tc_scales_linearly(spec in spec_strategy(), lambda in 0.25f64..4.0) {
-        let base = min_cycle_time(&build(&spec)).expect("solves").cycle_time();
-        let scaled = min_cycle_time(&scaled_circuit(&spec, lambda)).expect("solves").cycle_time();
+        let (base, basis) = common::min_tc_checked(&build(&spec), None);
+        let (scaled, _) = common::min_tc_checked(&scaled_circuit(&spec, lambda), Some(&basis));
         prop_assert!((scaled - lambda * base).abs() < 1e-6 * (1.0 + base),
             "Tc({lambda}·C) = {scaled} but λ·Tc(C) = {}", lambda * base);
     }
