@@ -33,23 +33,50 @@ cargo test -q --test warm_start
 
 echo "==> smo lint + smo analyze + certified smo solve over circuits/*.ckt"
 # `lint` exits non-zero on error-severity findings; `analyze` exits 2 when
-# the combinatorial bracket, the presolved solve and the plain solve
-# disagree (an internal soundness bug). Either failure fails CI.
+# the combinatorial bracket, the presolved solve, the plain solve or the
+# graph backend disagree (an internal soundness bug). Either failure
+# fails CI.
 cargo build -q --release --bin smo
 for ckt in circuits/*.ckt; do
   echo "--- $ckt"
   ./target/release/smo lint "$ckt"
   ./target/release/smo analyze "$ckt"
-  # Every shipped netlist must solve with every LP verdict independently
-  # KKT-checked (exit 0 and an explicit `certified: true` line). Plain
+  # Every shipped netlist must solve with every verdict independently
+  # checked (exit 0 and an explicit `certified: true` line). Plain
   # grep (not -q): -q closes the pipe early and breaks the writer.
   ./target/release/smo solve "$ckt" | grep "certified: true" > /dev/null
+  # Graph-vs-LP differential: both backends must solve every shipped
+  # netlist, certified, and report the same optimum to the printed
+  # precision. The `backend: graph` grep doubles as proof the fast path
+  # actually engages rather than silently falling back. Capture the full
+  # output first: truncating smo's stdout mid-write (e.g. `| head`)
+  # breaks the pipe under `set -o pipefail`.
+  graph_out=$(./target/release/smo solve "$ckt" --backend graph)
+  lp_out=$(./target/release/smo solve "$ckt" --backend lp)
+  printf '%s\n' "$graph_out" | grep "backend: graph" > /dev/null
+  printf '%s\n' "$graph_out" | grep "certified: true" > /dev/null
+  graph_tc=$(printf '%s\n' "$graph_out" | sed -n 1p)
+  lp_tc=$(printf '%s\n' "$lp_out" | sed -n 1p)
+  if [ "$graph_tc" != "$lp_tc" ]; then
+    echo "BACKEND DISAGREEMENT on $ckt: graph '$graph_tc' vs lp '$lp_tc'" >&2
+    exit 1
+  fi
   # Short certified Monte-Carlo sweep: exercises the warm-start repair and
   # the worker pool end to end on every shipped netlist (~2 s total).
   ./target/release/smo sweep "$ckt" --runs 4 --jobs 2 --certify > /dev/null
 done
 
+echo "==> panic-freedom attributes on the numerical fast-path modules"
+# The graph solver and the fast-path router must keep their deny-level
+# unwrap/expect gates: a panic inside either would take down every
+# `--backend auto` caller on pathological inputs.
+grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/lp/src/graph.rs
+grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/core/src/fastpath.rs
+
 echo "==> bench_sweep (regenerates BENCH_sweep.json, enforces warm >= 2x cold)"
 cargo run -q --release -p smo-bench --bin bench_sweep
+
+echo "==> bench_fastpath (regenerates BENCH_fastpath.json, enforces graph >= 10x lp)"
+cargo run -q --release -p smo-bench --bin bench_fastpath
 
 echo "CI OK"

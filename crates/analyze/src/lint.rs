@@ -61,6 +61,16 @@ pub enum Rule {
     /// Suspicious latch parameters: zero setup, or `Δ_DQ` much larger
     /// than setup.
     SuspiciousRatio,
+    /// A synchronizer with no path to or from any cyclic SCC of the latch
+    /// graph: it floats free of the circuit's recurrent core, so its
+    /// steady-state timing constrains nothing the clock cares about
+    /// (likely a mis-specified source or sink). Skipped entirely on
+    /// feed-forward circuits (no cyclic SCC at all).
+    UnreachableFromCore,
+    /// The constraint graph splits into several disconnected components:
+    /// the LP couples them only through the shared clock, which usually
+    /// means two unrelated netlists were pasted together.
+    DisconnectedComponents,
 }
 
 impl Rule {
@@ -73,6 +83,8 @@ impl Rule {
             Rule::ZeroDelayLoop => "zero-delay-loop",
             Rule::HoldMargin => "hold-margin",
             Rule::SuspiciousRatio => "suspicious-ratio",
+            Rule::UnreachableFromCore => "unreachable-from-core",
+            Rule::DisconnectedComponents => "disconnected-components",
         }
     }
 }
@@ -304,6 +316,120 @@ pub fn lint(circuit: &Circuit) -> LintReport {
         }
     }
 
+    // unreachable-from-core: synchronizers with no path to or from any
+    // cyclic SCC. Reuses the same SCC decomposition that powers
+    // `cycle_time_bounds`' per-component critical cycles. A feed-forward
+    // circuit has no recurrent core, so the rule is skipped entirely there
+    // rather than flagging every latch.
+    let n = circuit.num_syncs();
+    let mut in_cyclic = vec![false; n];
+    for comp in circuit.sccs() {
+        let cyclic = comp.len() > 1
+            || comp.len() == 1 && {
+                let l = comp[0];
+                circuit.fanout(l).iter().any(|&e| {
+                    let edge = &circuit.edges()[e.index()];
+                    edge.to == l
+                })
+            };
+        if cyclic {
+            for l in comp {
+                in_cyclic[l.index()] = true;
+            }
+        }
+    }
+    if in_cyclic.iter().any(|&c| c) {
+        // Forward and backward reachability from the cyclic cores.
+        let reach = |forward: bool| -> Vec<bool> {
+            let mut seen = in_cyclic.clone();
+            let mut stack: Vec<usize> = (0..n).filter(|&i| in_cyclic[i]).collect();
+            while let Some(i) = stack.pop() {
+                let id = smo_circuit::LatchId::new(i);
+                let edges = if forward {
+                    circuit.fanout(id)
+                } else {
+                    circuit.fanin(id)
+                };
+                for &e in edges {
+                    let edge = &circuit.edges()[e.index()];
+                    let next = if forward { edge.to } else { edge.from };
+                    if !seen[next.index()] {
+                        seen[next.index()] = true;
+                        stack.push(next.index());
+                    }
+                }
+            }
+            seen
+        };
+        let downstream = reach(true);
+        let upstream = reach(false);
+        for (id, s) in circuit.syncs() {
+            let i = id.index();
+            // Completely isolated synchronizers are unconstrained-sync
+            // territory; double-flagging them here is noise.
+            if circuit.fanin(id).is_empty() && circuit.fanout(id).is_empty() {
+                continue;
+            }
+            if !downstream[i] && !upstream[i] {
+                push(
+                    Rule::UnreachableFromCore,
+                    Severity::Warn,
+                    format!(
+                        "{} `{}` has no path to or from any feedback loop; it floats \
+                         free of the circuit's recurrent core",
+                        s.kind, s.name
+                    ),
+                );
+            }
+        }
+    }
+
+    // disconnected-components: the latch graph (ignoring completely
+    // isolated synchronizers, which unconstrained-sync already flags)
+    // splits into several weakly connected islands.
+    {
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for e in circuit.edges() {
+            let (a, b) = (
+                find(&mut parent, e.from.index()),
+                find(&mut parent, e.to.index()),
+            );
+            parent[a] = b;
+        }
+        let mut roots: Vec<usize> = (0..n)
+            .filter(|&i| {
+                let id = smo_circuit::LatchId::new(i);
+                !(circuit.fanin(id).is_empty() && circuit.fanout(id).is_empty())
+            })
+            .map(|i| find(&mut parent, i))
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        if roots.len() > 1 {
+            let names: Vec<String> = roots
+                .iter()
+                .map(|&r| format!("`{}`", circuit.sync(smo_circuit::LatchId::new(r)).name))
+                .collect();
+            push(
+                Rule::DisconnectedComponents,
+                Severity::Warn,
+                format!(
+                    "the constraint graph splits into {} disconnected components \
+                     (containing {}); they couple only through the shared clock",
+                    roots.len(),
+                    names.join(", ")
+                ),
+            );
+        }
+    }
+
     // suspicious-ratio: zero setup, or Δ_DQ far larger than setup.
     for (_, s) in circuit.syncs() {
         if s.setup <= 0.0 && s.dq > 0.0 {
@@ -432,6 +558,102 @@ mod tests {
         let report = lint(&b.build().unwrap());
         assert_eq!(report.worst(), Some(Severity::Info));
         assert_eq!(report.count(Severity::Info), 1);
+    }
+
+    #[test]
+    fn flags_latch_floating_free_of_the_core() {
+        let mut b = CircuitBuilder::new(2);
+        let l1 = b.add_latch("L1", p(1), 1.0, 2.0);
+        let l2 = b.add_latch("L2", p(2), 1.0, 2.0);
+        b.connect(l1, l2, 5.0);
+        b.connect(l2, l1, 5.0);
+        // `tap` is driven by the loop (reachable) — fine. `ghost` → `tap`
+        // neither reaches nor is reached by the loop core... but `ghost`
+        // does reach `tap`, which is downstream of the core; only a latch
+        // with no path in either direction is flagged, so attach a pair
+        // that touches nothing.
+        let tap = b.add_latch("tap", p(1), 1.0, 2.0);
+        b.connect(l2, tap, 3.0);
+        let g1 = b.add_latch("G1", p(1), 1.0, 2.0);
+        let g2 = b.add_latch("G2", p(2), 1.0, 2.0);
+        b.connect(g1, g2, 4.0);
+        let report = lint(&b.build().unwrap());
+        let floating: Vec<&Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::UnreachableFromCore)
+            .collect();
+        assert_eq!(floating.len(), 2, "{report}");
+        assert!(floating.iter().all(|f| f.severity == Severity::Warn));
+        assert!(report.to_string().contains("G1"));
+        assert!(!report.to_string().contains("`tap` has no path"));
+        // The G1→G2 island is also a disconnected component.
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::DisconnectedComponents));
+    }
+
+    #[test]
+    fn feed_forward_circuits_skip_the_core_rule() {
+        // No cyclic SCC at all: flagging every latch would be noise.
+        let mut b = CircuitBuilder::new(2);
+        let l1 = b.add_latch("L1", p(1), 1.0, 2.0);
+        let l2 = b.add_latch("L2", p(2), 1.0, 2.0);
+        let l3 = b.add_latch("L3", p(1), 1.0, 2.0);
+        b.connect(l1, l2, 5.0);
+        b.connect(l2, l3, 5.0);
+        let report = lint(&b.build().unwrap());
+        assert!(
+            !report
+                .findings
+                .iter()
+                .any(|f| f.rule == Rule::UnreachableFromCore),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn flags_disconnected_constraint_graphs() {
+        let mut b = CircuitBuilder::new(2);
+        let a1 = b.add_latch("A1", p(1), 1.0, 2.0);
+        let a2 = b.add_latch("A2", p(2), 1.0, 2.0);
+        b.connect(a1, a2, 5.0);
+        b.connect(a2, a1, 5.0);
+        let b1 = b.add_latch("B1", p(1), 1.0, 2.0);
+        let b2 = b.add_latch("B2", p(2), 1.0, 2.0);
+        b.connect(b1, b2, 5.0);
+        b.connect(b2, b1, 5.0);
+        let report = lint(&b.build().unwrap());
+        let disc: Vec<&Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::DisconnectedComponents)
+            .collect();
+        assert_eq!(disc.len(), 1, "{report}");
+        assert!(disc[0].message.contains("2 disconnected components"));
+        // Both islands are cyclic, so neither floats free of a core.
+        assert!(!report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::UnreachableFromCore));
+    }
+
+    #[test]
+    fn connected_single_component_does_not_fire() {
+        let mut b = CircuitBuilder::new(2);
+        let l1 = b.add_latch("L1", p(1), 1.0, 2.0);
+        let l2 = b.add_latch("L2", p(2), 1.0, 2.0);
+        b.connect(l1, l2, 5.0);
+        b.connect(l2, l1, 5.0);
+        // An isolated latch is unconstrained-sync territory, not a
+        // disconnected component.
+        b.add_latch("orphan", p(1), 1.0, 2.0);
+        let report = lint(&b.build().unwrap());
+        assert!(!report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::DisconnectedComponents));
     }
 
     #[test]

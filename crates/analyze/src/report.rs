@@ -18,7 +18,10 @@
 //! removed before the simplex ran.
 
 use smo_circuit::Circuit;
-use smo_core::{cycle_time_bounds, ConstraintKind, CycleTimeBounds, TimingError, TimingModel};
+use smo_core::{
+    classify_model, cycle_time_bounds, min_cycle_time_with, Backend, ConstraintKind,
+    CycleTimeBounds, MlpOptions, TimingError, TimingModel,
+};
 use smo_lp::{LpError, PresolveOptions, PresolveStats, RowFate, SimplexVariant};
 use std::fmt;
 
@@ -81,6 +84,15 @@ pub enum AnalyzeError {
         /// Optimum of the untouched problem.
         without_presolve: f64,
     },
+    /// The difference-constraint graph backend and the simplex returned
+    /// different optima on a pure-difference model — an internal soundness
+    /// failure in one of the two solvers.
+    BackendDisagree {
+        /// Exact optimum from the min-cycle-ratio graph solver.
+        graph: f64,
+        /// Optimum from the (certified) simplex.
+        lp: f64,
+    },
 }
 
 impl fmt::Display for AnalyzeError {
@@ -103,6 +115,11 @@ impl fmt::Display for AnalyzeError {
                 f,
                 "soundness failure: presolved solve returned {with_presolve} but the \
                  plain solve returned {without_presolve}"
+            ),
+            AnalyzeError::BackendDisagree { graph, lp } => write!(
+                f,
+                "soundness failure: graph backend returned Tc* = {graph} but the \
+                 simplex returned {lp} on a pure difference-constraint model"
             ),
         }
     }
@@ -148,6 +165,19 @@ pub struct AnalyzeReport {
     /// Rows removed by presolve per paper family, in §III order:
     /// C1, C2, C3, L1, L2R, FF setup, FF departure, extra.
     pub removed_by_family: Vec<(&'static str, usize)>,
+    /// Constraint-classifier coverage per paper family, in §III order:
+    /// `(family, rows, difference_rows)` where `difference_rows` counts the
+    /// rows in the difference fragment (two-variable difference,
+    /// single-variable, or parameter-only under the recombination).
+    pub classified_by_family: Vec<(&'static str, usize, usize)>,
+    /// Rows outside the difference fragment (zero means the graph backend
+    /// solves this model exactly).
+    pub num_general_rows: usize,
+    /// Exact optimum from the min-cycle-ratio graph backend, when the model
+    /// is pure-difference (`None` when general rows force the simplex).
+    /// Always cross-checked against the LP optimum before the report is
+    /// returned.
+    pub graph_optimum: Option<f64>,
     /// Independent KKT certificate for the plain cross-check solve: the
     /// reported optimum is not just "what the simplex said" but has been
     /// re-verified from the raw constraint data (primal/dual feasibility,
@@ -235,7 +265,30 @@ impl AnalyzeReport {
             first = false;
             out.push_str(&format!("\"{}\": {}", json_escape(family), n));
         }
-        out.push_str("}\n}");
+        out.push_str("},\n");
+        let total_rows: usize = self.classified_by_family.iter().map(|(_, r, _)| r).sum();
+        let diff_rows: usize = self.classified_by_family.iter().map(|(_, _, d)| d).sum();
+        out.push_str(&format!(
+            "  \"classification\": {{\"rows\": {total_rows}, \"difference\": {diff_rows}, \
+             \"general\": {}, \"by_family\": {{",
+            self.num_general_rows
+        ));
+        let mut first = true;
+        for (family, rows, diff) in &self.classified_by_family {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{}\": {{\"rows\": {rows}, \"difference\": {diff}}}",
+                json_escape(family)
+            ));
+        }
+        out.push_str("}},\n");
+        match self.graph_optimum {
+            Some(g) => out.push_str(&format!("  \"graph_optimum\": {g}\n}}")),
+            None => out.push_str("  \"graph_optimum\": null\n}"),
+        }
         out
     }
 }
@@ -278,6 +331,38 @@ impl fmt::Display for AnalyzeReport {
         if let Some(cert) = &self.certificate {
             writeln!(f, "  {cert}")?;
         }
+        let total_rows: usize = self.classified_by_family.iter().map(|(_, r, _)| r).sum();
+        let diff_rows: usize = self.classified_by_family.iter().map(|(_, _, d)| d).sum();
+        let pct = if total_rows > 0 {
+            100.0 * diff_rows as f64 / total_rows as f64
+        } else {
+            100.0
+        };
+        writeln!(
+            f,
+            "constraint classes: {diff_rows}/{total_rows} rows ({pct:.1}%) in the \
+             difference fragment, {} general",
+            self.num_general_rows
+        )?;
+        let by_family: Vec<String> = self
+            .classified_by_family
+            .iter()
+            .filter(|(_, rows, _)| *rows > 0)
+            .map(|(family, rows, diff)| format!("{family} {diff}/{rows}"))
+            .collect();
+        if !by_family.is_empty() {
+            writeln!(f, "  by family: {}", by_family.join(", "))?;
+        }
+        match self.graph_optimum {
+            Some(g) => writeln!(
+                f,
+                "graph backend: Tc* = {g} (exact min-cycle-ratio, agrees with the LP)"
+            )?,
+            None => writeln!(
+                f,
+                "graph backend: not exact here (general rows present); simplex decides"
+            )?,
+        }
         writeln!(f, "presolve: {}", self.presolve)?;
         let removed: Vec<String> = self
             .removed_by_family
@@ -306,6 +391,19 @@ impl fmt::Display for AnalyzeReport {
 /// `smo analyze` surfaces them with a distinct exit code).
 pub fn analyze(circuit: &Circuit) -> Result<AnalyzeReport, AnalyzeError> {
     let model = TimingModel::build(circuit)?;
+
+    // Static classification: which rows the difference-constraint graph
+    // backend can represent, family by family.
+    let cls = classify_model(circuit, &model)?;
+    let mut class_rows = vec![0usize; FAMILIES.len()];
+    let mut class_diff = vec![0usize; FAMILIES.len()];
+    for info in model.constraints() {
+        let fam = family_index(info.kind);
+        class_rows[fam] += 1;
+        if cls.class(info.row).is_difference_fragment() {
+            class_diff[fam] += 1;
+        }
+    }
 
     // Presolve for the reduction breakdown.
     let opts = PresolveOptions::default();
@@ -345,6 +443,28 @@ pub fn analyze(circuit: &Circuit) -> Result<AnalyzeReport, AnalyzeError> {
         });
     }
 
+    // On pure-difference models the graph backend solves the same problem
+    // exactly; its optimum and the simplex's must coincide.
+    let graph_optimum = if cls.is_pure() {
+        let graph_sol = min_cycle_time_with(
+            circuit,
+            &MlpOptions {
+                backend: Backend::Graph,
+                ..Default::default()
+            },
+        )?;
+        let graph = graph_sol.cycle_time();
+        if (graph - without_presolve).abs() > AGREE_TOL * (1.0 + without_presolve.abs()) {
+            return Err(AnalyzeError::BackendDisagree {
+                graph,
+                lp: without_presolve,
+            });
+        }
+        Some(graph)
+    } else {
+        None
+    };
+
     // The combinatorial bracket must contain the optimum.
     let bounds = cycle_time_bounds(circuit);
     if !bounds.brackets(with_presolve) {
@@ -383,6 +503,14 @@ pub fn analyze(circuit: &Circuit) -> Result<AnalyzeReport, AnalyzeError> {
         lower_is_tight,
         presolve: *pre.stats(),
         removed_by_family: FAMILIES.iter().copied().zip(removed).collect(),
+        classified_by_family: FAMILIES
+            .iter()
+            .copied()
+            .zip(class_rows.iter().copied().zip(class_diff.iter().copied()))
+            .map(|(f, (r, d))| (f, r, d))
+            .collect(),
+        num_general_rows: cls.num_general(),
+        graph_optimum,
         certificate: Some(certificate),
     })
 }
@@ -514,6 +642,26 @@ mod tests {
     }
 
     #[test]
+    fn classifier_coverage_is_total_on_default_models() {
+        let r = analyze(&example1()).unwrap();
+        // Every default-model row lies in the difference fragment, so the
+        // graph backend is exact and must agree with the simplex.
+        assert_eq!(r.num_general_rows, 0);
+        let total: usize = r.classified_by_family.iter().map(|(_, n, _)| n).sum();
+        let diff: usize = r.classified_by_family.iter().map(|(_, _, d)| d).sum();
+        assert_eq!(total, diff);
+        assert!(total > 0);
+        assert_eq!(r.graph_optimum, Some(110.0));
+        let text = r.to_string();
+        assert!(text.contains("difference fragment"), "{text}");
+        assert!(text.contains("graph backend: Tc* = 110"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"classification\""), "{json}");
+        assert!(json.contains("\"graph_optimum\": 110"), "{json}");
+        assert!(json.contains("\"L1\": {\"rows\": "), "{json}");
+    }
+
+    #[test]
     fn disagreement_errors_render_distinctly() {
         let b = AnalyzeError::BoundsDisagree {
             lower: 10.0,
@@ -526,5 +674,10 @@ mod tests {
             without_presolve: 11.0,
         };
         assert!(p.to_string().contains("presolved solve"));
+        let g = AnalyzeError::BackendDisagree {
+            graph: 10.0,
+            lp: 11.0,
+        };
+        assert!(g.to_string().contains("graph backend"));
     }
 }

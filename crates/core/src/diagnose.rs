@@ -198,7 +198,11 @@ fn render_row(p: &Problem, row: ConstraintId) -> String {
 }
 
 /// Maps one provenance record to its paper-level description.
-fn describe(circuit: &Circuit, model: &TimingModel, info: &ConstraintInfo) -> DiagnosedConstraint {
+pub(crate) fn describe(
+    circuit: &Circuit,
+    model: &TimingModel,
+    info: &ConstraintInfo,
+) -> DiagnosedConstraint {
     let p = model.problem();
     let name = |id| format!("`{}`", circuit.sync(id).name);
     let (label, detail) = match info.kind {

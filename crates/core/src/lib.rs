@@ -32,6 +32,14 @@
 //!   re-solves: parametric clock sweeps and Monte-Carlo delay
 //!   perturbations fanned over a work-claiming thread pool, deterministic
 //!   for any thread count.
+//! * **Difference-constraint fast path** ([`Backend`], [`classify_model`])
+//!   — a static row classifier maps the SMO model onto a
+//!   difference-constraint graph; pure models solve by Bellman–Ford plus
+//!   Lawler's exact min-cycle-ratio iteration (no simplex at all) with an
+//!   independently re-checked [`GraphCertificate`], mixed models
+//!   warm-start the simplex from the graph schedule, and infeasibility
+//!   surfaces as a machine-checked negative-cycle Farkas certificate named
+//!   in paper vocabulary.
 //!
 //! ## Quickstart
 //!
@@ -74,6 +82,7 @@ mod critical;
 mod diagnose;
 mod diagram;
 mod error;
+mod fastpath;
 mod mlp;
 mod model;
 mod propagation;
@@ -90,6 +99,7 @@ pub use critical::{critical_report, CriticalEdge, CriticalReport, CriticalSegmen
 pub use diagnose::{diagnose_infeasibility, DiagnosedConstraint, InfeasibilityReport};
 pub use diagram::{render_schedule, render_solution};
 pub use error::TimingError;
+pub use fastpath::{classify_model, graph_feasible_at, variable_images, Backend, GraphCertificate};
 pub use mlp::{
     min_cycle_time, min_cycle_time_with, solve_model, solve_model_canonical,
     solve_model_canonical_with, solve_model_with, MlpOptions, UpdateMode,

@@ -14,10 +14,11 @@
 //! departures still satisfy every setup constraint (they only decreased).
 
 use crate::error::TimingError;
+use crate::fastpath::{self, Backend, FastPathOutcome};
 use crate::model::{ConstraintOptions, TimingModel};
 use crate::propagation::PropagationSystem;
 use crate::solution::TimingSolution;
-use smo_circuit::Circuit;
+use smo_circuit::{Circuit, ClockSchedule};
 
 /// Which fixpoint iteration Algorithm MLP uses in its update step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,6 +62,11 @@ pub struct MlpOptions {
     /// loops, so even a pathological model returns
     /// [`smo_lp::LpError::Budget`] promptly.
     pub time_limit: Option<std::time::Duration>,
+    /// Which solver backs the cycle-time computation (see [`Backend`]).
+    /// Defaults to [`Backend::Lp`] so library callers see the exact
+    /// behavior of earlier releases; the `smo` CLI passes
+    /// [`Backend::Auto`].
+    pub backend: Backend,
 }
 
 impl Default for MlpOptions {
@@ -72,6 +78,7 @@ impl Default for MlpOptions {
             simplex: smo_lp::SimplexVariant::default(),
             certify: true,
             time_limit: None,
+            backend: Backend::Lp,
         }
     }
 }
@@ -136,6 +143,33 @@ pub fn min_cycle_time_with(
 ) -> Result<TimingSolution, TimingError> {
     let model = TimingModel::build_with(circuit, &options.constraints)?;
     let policy = options.policy();
+    // Difference-constraint fast path: exact graph solve on pure models,
+    // crossover warm start on mixed ones (see [`crate::fastpath`]).
+    let mut warm: Option<smo_lp::Basis> = None;
+    if options.backend != Backend::Lp {
+        match fastpath::attempt(circuit, &model, options.update) {
+            Ok(FastPathOutcome::Solved(solution)) => return Ok(*solution),
+            Ok(FastPathOutcome::WarmStart(basis)) => {
+                if options.backend == Backend::Graph {
+                    return Err(TimingError::InvalidOptions {
+                        reason: "backend `graph` requires a pure difference-constraint \
+                                 model, but the generated rows include general linear \
+                                 constraints (use `auto` or `lp`)"
+                            .into(),
+                    });
+                }
+                warm = basis;
+            }
+            Err(e @ TimingError::Infeasible { .. }) => return Err(e),
+            Err(e) => {
+                if options.backend == Backend::Graph {
+                    return Err(e);
+                }
+                // `auto` treats numerical trouble in the fast path as a
+                // miss, not a verdict: fall through to the certified LP.
+            }
+        }
+    }
     if options.canonicalize {
         canonical_inner(
             circuit,
@@ -143,6 +177,7 @@ pub fn min_cycle_time_with(
             options.update,
             options.simplex,
             policy.as_ref(),
+            warm.as_ref(),
         )
     } else {
         model_inner(
@@ -151,6 +186,7 @@ pub fn min_cycle_time_with(
             options.update,
             options.simplex,
             policy.as_ref(),
+            warm.as_ref(),
         )
     }
 }
@@ -182,23 +218,32 @@ pub fn solve_model_canonical_with(
     update: UpdateMode,
     variant: smo_lp::SimplexVariant,
 ) -> Result<TimingSolution, TimingError> {
-    canonical_inner(circuit, model, update, variant, None)
+    canonical_inner(circuit, model, update, variant, None, None)
 }
 
-/// Canonicalizing pipeline shared by the certified and plain paths.
+/// Canonicalizing pipeline shared by the certified and plain paths. A warm
+/// basis (from the fast path's crossover) only seeds the *first* solve —
+/// the refined model has an extra row, so the snapshot no longer fits it.
 fn canonical_inner(
     circuit: &Circuit,
     model: &TimingModel,
     update: UpdateMode,
     variant: smo_lp::SimplexVariant,
     policy: Option<&smo_lp::RecoveryPolicy>,
+    warm: Option<&smo_lp::Basis>,
 ) -> Result<TimingSolution, TimingError> {
     let (first, mut certificates) = match policy {
         Some(pol) => {
-            let (sol, cert) = model.solve_lp_certified(pol)?;
+            let (sol, cert) = model.solve_lp_certified_from_basis(pol, warm)?;
             (sol, vec![cert])
         }
-        None => (model.solve_lp_with(variant)?, Vec::new()),
+        None => (
+            match warm {
+                Some(b) => model.solve_lp_from_basis(variant, b)?,
+                None => model.solve_lp_with(variant)?,
+            },
+            Vec::new(),
+        ),
     };
     let tc_opt = first.objective();
 
@@ -214,7 +259,7 @@ fn canonical_inner(
         }
         p.minimize(secondary);
     }
-    match model_inner(circuit, &refined, update, variant, policy) {
+    match model_inner(circuit, &refined, update, variant, policy, None) {
         Ok(mut solution) => {
             solution.num_constraints = model.num_constraints();
             solution.lp_iterations += first.iterations();
@@ -232,7 +277,7 @@ fn canonical_inner(
         // infeasibility), so that exhaustion gets the same fallback.
         Err(TimingError::Infeasible { .. })
         | Err(TimingError::Lp(smo_lp::LpError::CertificationFailed { .. })) => {
-            model_inner(circuit, model, update, variant, policy)
+            model_inner(circuit, model, update, variant, policy, warm)
         }
         Err(e) => Err(e),
     }
@@ -264,39 +309,28 @@ pub fn solve_model_with(
     update: UpdateMode,
     variant: smo_lp::SimplexVariant,
 ) -> Result<TimingSolution, TimingError> {
-    model_inner(circuit, model, update, variant, None)
+    model_inner(circuit, model, update, variant, None, None)
 }
 
-/// Steps 1–2 of Algorithm MLP, optionally on the certified LP path.
-fn model_inner(
+/// Step 2 of Algorithm MLP: slide the departures from `d0` to the
+/// nonlinear fixpoint under a fixed schedule. The slide is geometric when
+/// a loop's gain is a tiny negative number, so the cap is generous;
+/// hitting it is reported as `NotConverged` rather than silently accepted.
+/// Returns `(departures, arrivals, iterations)`. Shared with the graph
+/// fast path, whose schedule also satisfies L2R at its start point.
+pub(crate) fn slide_departures(
     circuit: &Circuit,
-    model: &TimingModel,
+    schedule: &ClockSchedule,
+    d0: &[f64],
     update: UpdateMode,
-    variant: smo_lp::SimplexVariant,
-    policy: Option<&smo_lp::RecoveryPolicy>,
-) -> Result<TimingSolution, TimingError> {
-    // Step 1: LP.
-    let (lp, certificates) = match policy {
-        Some(pol) => {
-            let (sol, cert) = model.solve_lp_certified(pol)?;
-            (sol, vec![cert])
-        }
-        None => (model.solve_lp_with(variant)?, Vec::new()),
-    };
-    let schedule = model.extract_schedule(&lp)?;
-    let d0 = model.extract_departures(&lp);
-
-    // Step 2: slide the departures to the nonlinear fixpoint. The slide is
-    // geometric when a loop's gain is a tiny negative number, so the cap is
-    // generous; hitting it is reported as NotConverged rather than silently
-    // accepted.
-    let system = PropagationSystem::new(circuit, &schedule);
+) -> Result<(Vec<f64>, Vec<f64>, usize), TimingError> {
+    let system = PropagationSystem::new(circuit, schedule);
     let cap = 1000 + 100 * circuit.num_syncs();
     let result = match update {
-        UpdateMode::Jacobi => system.jacobi(&d0, cap),
-        UpdateMode::GaussSeidel => system.gauss_seidel(&d0, cap),
+        UpdateMode::Jacobi => system.jacobi(d0, cap),
+        UpdateMode::GaussSeidel => system.gauss_seidel(d0, cap),
         UpdateMode::EventDriven => {
-            system.event_driven(&d0, 1000 + 100 * circuit.num_syncs() * circuit.num_syncs())
+            system.event_driven(d0, 1000 + 100 * circuit.num_syncs() * circuit.num_syncs())
         }
     };
     if !result.converged {
@@ -306,14 +340,48 @@ fn model_inner(
         });
     }
     let arrivals = system.arrivals(&result.departures);
+    Ok((result.departures, arrivals, result.iterations))
+}
+
+/// Steps 1–2 of Algorithm MLP, optionally on the certified LP path,
+/// optionally warm-started from a crossover basis.
+fn model_inner(
+    circuit: &Circuit,
+    model: &TimingModel,
+    update: UpdateMode,
+    variant: smo_lp::SimplexVariant,
+    policy: Option<&smo_lp::RecoveryPolicy>,
+    warm: Option<&smo_lp::Basis>,
+) -> Result<TimingSolution, TimingError> {
+    // Step 1: LP.
+    let (lp, certificates) = match policy {
+        Some(pol) => {
+            let (sol, cert) = model.solve_lp_certified_from_basis(pol, warm)?;
+            (sol, vec![cert])
+        }
+        None => (
+            match warm {
+                Some(b) => model.solve_lp_from_basis(variant, b)?,
+                None => model.solve_lp_with(variant)?,
+            },
+            Vec::new(),
+        ),
+    };
+    let schedule = model.extract_schedule(&lp)?;
+    let d0 = model.extract_departures(&lp);
+
+    // Step 2: slide the departures to the nonlinear fixpoint.
+    let (departures, arrivals, update_iterations) =
+        slide_departures(circuit, &schedule, &d0, update)?;
     Ok(TimingSolution {
         schedule,
-        departures: result.departures,
+        departures,
         arrivals,
-        update_iterations: result.iterations,
+        update_iterations,
         lp_iterations: lp.iterations(),
         num_constraints: model.num_constraints(),
         certificates,
+        graph_certificate: None,
     })
 }
 

@@ -23,6 +23,10 @@ pub struct TimingSolution {
     /// Independent optimality certificates for each LP solved on the way
     /// to this solution (empty when certification was disabled).
     pub(crate) certificates: Vec<smo_lp::Certificate>,
+    /// Independent optimality certificate from the difference-constraint
+    /// graph solver, when the fast path produced this solution (`None` on
+    /// the simplex path).
+    pub(crate) graph_certificate: Option<crate::fastpath::GraphCertificate>,
 }
 
 impl TimingSolution {
@@ -92,10 +96,23 @@ impl TimingSolution {
         &self.certificates
     }
 
-    /// `true` when every LP verdict behind this solution was independently
-    /// machine-checked (at least one certificate present, all valid).
+    /// The graph solver's optimality certificate, when the
+    /// difference-constraint fast path produced this solution (`None` on
+    /// the simplex path; see
+    /// [`GraphCertificate`](crate::fastpath::GraphCertificate)).
+    pub fn graph_certificate(&self) -> Option<&crate::fastpath::GraphCertificate> {
+        self.graph_certificate.as_ref()
+    }
+
+    /// `true` when every solver verdict behind this solution was
+    /// independently machine-checked: at least one certificate present
+    /// (KKT certificates on the simplex path, a
+    /// [`GraphCertificate`](crate::fastpath::GraphCertificate) on the
+    /// graph fast path) and all of them valid.
     pub fn certified(&self) -> bool {
-        !self.certificates.is_empty() && self.certificates.iter().all(|c| c.is_valid())
+        let any = !self.certificates.is_empty() || self.graph_certificate.is_some();
+        any && self.certificates.iter().all(|c| c.is_valid())
+            && self.graph_certificate.iter().all(|c| c.is_valid())
     }
 
     /// Absolute departure instant within the cycle: `s_{p_i} + D_i`, for
@@ -141,6 +158,7 @@ mod tests {
             lp_iterations: 9,
             num_constraints: 15,
             certificates: Vec::new(),
+            graph_certificate: None,
         }
     }
 

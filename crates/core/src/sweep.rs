@@ -48,7 +48,7 @@ use crate::model::TimingModel;
 use crate::sensitivity::cycle_time_curve;
 use smo_circuit::{Circuit, EdgeId};
 use smo_gen::random::perturbed_delays;
-use smo_lp::{Basis, RecoveryPolicy, SimplexVariant};
+use smo_lp::{Basis, ConstraintId, RecoveryPolicy, SimplexVariant};
 
 /// Which parameter a sweep varies.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,7 +81,9 @@ pub struct SweepOptions {
     /// Base RNG seed (delay mode; run `i` uses `seed + i`).
     pub seed: u64,
     /// Worker threads. Results are identical for any value; `0` and `1`
-    /// both mean sequential.
+    /// both mean sequential. The value is a *ceiling*: it is clamped to
+    /// the work-item count and to [`std::thread::available_parallelism`],
+    /// so over-subscribing a small container no longer costs throughput.
     pub jobs: usize,
     /// Simplex implementation for the base and warm solves. The revised
     /// variant reuses its factorization across RHS-only re-solves and is
@@ -221,7 +223,15 @@ pub fn sweep_cycle_time(
         .collect::<Result<_, TimingError>>()?;
 
     let total = circuits.len() * options.runs;
-    let jobs = options.jobs.clamp(1, total);
+    // Threads beyond the physical core count only add scheduler churn:
+    // every extra worker claims runs it then time-slices against the
+    // others, so `--jobs 8` on a 1-core container used to run *slower*
+    // than `--jobs 1`. Cap the pool at the machine's parallelism (the
+    // determinism contract makes the clamp invisible in the output).
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs = options.jobs.clamp(1, total).min(cores);
     let next = AtomicUsize::new(0);
 
     let work = |_worker: usize| -> Result<Vec<(usize, SweepRun)>, (usize, TimingError)> {
@@ -231,6 +241,11 @@ pub fn sweep_cycle_time(
         // cached snapshot also owns this worker's factorization cache (or
         // shares the base solve's, when the revised solver seeded it).
         let mut cache: HashMap<u64, Basis> = HashMap::new();
+        // The per-worker model cache: one clone of each circuit's base
+        // model, perturbed in place (RHS only) and restored after every
+        // run. Cloning per (worker, circuit) instead of per run removes
+        // the dominant allocation from the inner loop.
+        let mut models: HashMap<usize, TimingModel> = HashMap::new();
         loop {
             let w = next.fetch_add(1, Ordering::Relaxed);
             if w >= total {
@@ -242,7 +257,8 @@ pub fn sweep_cycle_time(
             let basis = cache
                 .entry(base.fingerprint)
                 .or_insert_with(|| base.basis.clone());
-            match run_one(&circuits[c], base, basis, i, options) {
+            let model = models.entry(c).or_insert_with(|| base.model.clone());
+            match run_one(&circuits[c], model, basis, i, options) {
                 Ok(run) => out.push((w, run)),
                 Err(e) => return Err((w, e)),
             }
@@ -330,16 +346,36 @@ pub fn sweep_cycle_time(
     Ok(reports)
 }
 
-/// One re-solve: perturb a clone of the base model (RHS edits only) and
-/// warm-start it from the worker's cached basis.
+/// Records a row's exact RHS before overwriting it via
+/// [`TimingModel::set_edge_delay`], so [`run_one`] can restore the
+/// worker's shared model bit-for-bit afterwards. Restoring the *recorded*
+/// value — rather than applying the inverse delta — keeps repeated runs
+/// from accumulating floating-point drift in the cached model.
+fn record_and_set(
+    model: &mut TimingModel,
+    touched: &mut Vec<(ConstraintId, f64)>,
+    edge: EdgeId,
+    old_delay: f64,
+    new_delay: f64,
+) {
+    if let Some(row) = model.edge_constraint(edge) {
+        let (_, _, rhs) = model.problem().constraint(row);
+        touched.push((row, rhs));
+        model.set_edge_delay(edge, old_delay, new_delay);
+    }
+}
+
+/// One re-solve: perturb the worker's cached model in place (RHS edits
+/// only), warm-start it from the worker's cached basis, then restore the
+/// recorded right-hand sides so the model is pristine for the next run.
 fn run_one(
     circuit: &Circuit,
-    base: &BaseSolve,
+    model: &mut TimingModel,
     basis: &Basis,
     i: usize,
     options: &SweepOptions,
 ) -> Result<SweepRun, TimingError> {
-    let mut model = base.model.clone();
+    let mut touched: Vec<(ConstraintId, f64)> = Vec::new();
     let value = match &options.param {
         SweepParam::Tc { edge, max_delay } => {
             let theta = if options.runs == 1 {
@@ -347,7 +383,13 @@ fn run_one(
             } else {
                 max_delay * i as f64 / (options.runs - 1) as f64
             };
-            model.set_edge_delay(*edge, circuit.edge(*edge).max_delay, theta);
+            record_and_set(
+                model,
+                &mut touched,
+                *edge,
+                circuit.edge(*edge).max_delay,
+                theta,
+            );
             theta
         }
         SweepParam::Delay { spread } => {
@@ -355,8 +397,8 @@ fn run_one(
             let mut worst = 0.0f64;
             for (e, (edge, &new)) in circuit.edges().iter().zip(&delays).enumerate() {
                 let id = EdgeId::new(e);
-                if new != edge.max_delay && model.edge_constraint(id).is_some() {
-                    model.set_edge_delay(id, edge.max_delay, new);
+                if new != edge.max_delay {
+                    record_and_set(model, &mut touched, id, edge.max_delay, new);
                 }
                 if edge.max_delay > 0.0 {
                     worst = worst.max((new - edge.max_delay).abs() / edge.max_delay);
@@ -365,17 +407,23 @@ fn run_one(
             worst
         }
     };
-    let sol = if options.certify {
+    let solved = if options.certify {
         let policy = RecoveryPolicy {
             variant: options.variant,
             ..RecoveryPolicy::default()
         };
         model
             .solve_lp_certified_from_basis(&policy, Some(basis))
-            .map(|(sol, _cert)| sol)?
+            .map(|(sol, _cert)| sol)
     } else {
-        model.solve_lp_from_basis(options.variant, basis)?
+        model.solve_lp_from_basis(options.variant, basis)
     };
+    // Restore before propagating any error: the cached model must hold the
+    // exact base RHS whenever run_one returns.
+    for &(row, rhs) in touched.iter().rev() {
+        model.problem_mut().set_rhs(row, rhs);
+    }
+    let sol = solved?;
     Ok(SweepRun {
         index: i,
         value,

@@ -34,7 +34,14 @@
 //! * basis warm-starting ([`Basis`], [`Problem::solve_from_basis`]): every
 //!   optimal solve snapshots its basis, and sweep-style workloads re-enter
 //!   it with a bounded dual/primal repair instead of a fresh phase 1 —
-//!   falling back to the cold path whenever the snapshot no longer fits.
+//!   falling back to the cold path whenever the snapshot no longer fits,
+//! * a difference-constraint fast path ([`classify`], [`DifferenceSystem`]):
+//!   rows recognized as two-variable differences `x_i − x_j ≤ base + slope·λ`
+//!   solve by Bellman–Ford feasibility and Lawler's exact min-cycle-ratio
+//!   iteration instead of the simplex, with negative-cycle infeasibility
+//!   certificates that [`certifies_infeasibility`] checks exactly like an LP
+//!   Farkas vector, and a crossover ([`Problem::basis_from_point`]) that
+//!   turns a graph schedule into a warm-start basis for mixed systems.
 //!
 //! The SMO constraint matrices contain only `0, ±1` entries (§VI), so a dense
 //! f64 tableau with modest tolerances ([`EPS`]) is numerically comfortable.
@@ -68,6 +75,7 @@ mod basis;
 mod error;
 mod export;
 mod expr;
+mod graph;
 mod iis;
 mod parametric;
 mod presolve;
@@ -84,6 +92,10 @@ pub use basis::Basis;
 pub use error::LpError;
 pub use export::write_lp;
 pub use expr::{LinExpr, VarId};
+pub use graph::{
+    classify, AffineBound, Classification, DifferenceSystem, FixedParamOutcome, GraphInfeasibility,
+    MinParamOutcome, NegativeCycle, ParamLowerWitness, RowClass, VarImage,
+};
 pub use iis::{certifies_infeasibility, extract_iis, Iis};
 pub use parametric::{parametric_objective, parametric_rhs, ParametricCurve, ParametricSegment};
 pub use presolve::{PresolveOptions, PresolveStats, Presolved, RowFate, VarFate};

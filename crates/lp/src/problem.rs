@@ -357,6 +357,27 @@ impl Problem {
         }
     }
 
+    /// Crossover: builds a warm-start [`Basis`](crate::Basis) from a bare
+    /// primal point (one value per variable), with no prior simplex run.
+    ///
+    /// This is how a solution produced *outside* the simplex — the
+    /// difference-constraint graph backend's schedule, a cached point from
+    /// a related model — enters the warm-start machinery: rows with strict
+    /// slack at the point get their logical column, tight rows get a
+    /// supporting structural column. The guess is best-effort; if it turns
+    /// out singular or badly infeasible,
+    /// [`Problem::solve_from_basis`] falls back to a cold solve, so the
+    /// verdict is never at risk.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError`] if `x` has the wrong length or the problem fails
+    /// standard-form construction (no objective, malformed bounds, …).
+    pub fn basis_from_point(&self, x: &[f64]) -> Result<crate::Basis, LpError> {
+        self.validate()?;
+        simplex::Tableau::basis_from_point(self, x)
+    }
+
     /// Fingerprint of the standard-form constraint *matrix* — the same
     /// FNV-1a hash a basis snapshot carries
     /// ([`Basis::matrix_hash`](crate::Basis::matrix_hash)).

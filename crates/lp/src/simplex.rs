@@ -342,6 +342,93 @@ impl Tableau {
         self.capture_basis_from(&self.basis)
     }
 
+    /// Crossover: guesses a basis that supports the primal point `x`
+    /// (user-variable space), for warm-starting a simplex solve from a
+    /// solution obtained outside the simplex — e.g. the graph fast path's
+    /// schedule on the difference subset of a mixed system.
+    ///
+    /// Per standard-form row, the slack/surplus is made basic when the row
+    /// has strict slack at `x`; tight rows take an unused structural
+    /// column that is positive at `x` (largest pivot coefficient first),
+    /// or park a logical column at zero when none remains. The result is
+    /// not guaranteed nonsingular or feasible — the warm-start entry path
+    /// validates and silently falls back to a cold solve, so a poor guess
+    /// costs nothing but the attempt.
+    pub(crate) fn basis_from_point(p: &Problem, x: &[f64]) -> Result<Basis, LpError> {
+        if x.len() != p.vars.len() {
+            return Err(LpError::Numerical {
+                context: format!(
+                    "basis_from_point: {} values for {} variables",
+                    x.len(),
+                    p.vars.len()
+                ),
+            });
+        }
+        let t = Tableau::build(p, None)?;
+        // Standard-form values of the structural columns at `x`.
+        let mut xstd = vec![0.0; t.ncols];
+        for (v, vc) in t.var_cols.iter().enumerate() {
+            match *vc {
+                VarCols::Shifted { col, shift } => xstd[col] = x[v] - shift,
+                VarCols::Split { pos, neg } => {
+                    xstd[pos] = x[v].max(0.0);
+                    xstd[neg] = (-x[v]).max(0.0);
+                }
+            }
+        }
+        let m = t.rows();
+        let mut slack_of = vec![usize::MAX; m];
+        let mut surplus_of = vec![usize::MAX; m];
+        let mut art_of = vec![usize::MAX; m];
+        let mut nstruct = 0usize;
+        for (c, k) in t.col_kinds.iter().enumerate() {
+            match *k {
+                ColKind::Structural { .. } => nstruct += 1,
+                ColKind::Slack { row } => slack_of[row] = c,
+                ColKind::Surplus { row } => surplus_of[row] = c,
+                ColKind::Artificial { row } => art_of[row] = c,
+            }
+        }
+        let mut used = vec![false; t.ncols];
+        let mut basic = vec![usize::MAX; m];
+        let mut tight: Vec<usize> = Vec::new();
+        for (r, slot) in basic.iter_mut().enumerate() {
+            let activity: f64 = (0..nstruct).map(|c| t.tab[r][c] * xstd[c]).sum();
+            let resid = t.rhs(r) - activity;
+            if slack_of[r] != usize::MAX && resid > crate::EPS {
+                *slot = slack_of[r];
+                used[slack_of[r]] = true;
+            } else if surplus_of[r] != usize::MAX && resid < -crate::EPS {
+                *slot = surplus_of[r];
+                used[surplus_of[r]] = true;
+            } else {
+                tight.push(r);
+            }
+        }
+        for &r in &tight {
+            let mut best: Option<(usize, f64)> = None;
+            for c in 0..nstruct {
+                if used[c] || xstd[c] <= crate::EPS {
+                    continue;
+                }
+                let a = t.tab[r][c].abs();
+                if a > crate::EPS && best.is_none_or(|(_, ba)| a > ba) {
+                    best = Some((c, a));
+                }
+            }
+            let col = match best {
+                Some((c, _)) => c,
+                // Degenerate row: park a logical column at value zero.
+                None if art_of[r] != usize::MAX => art_of[r],
+                None if slack_of[r] != usize::MAX => slack_of[r],
+                None => surplus_of[r],
+            };
+            basic[r] = col;
+            used[col] = true;
+        }
+        Ok(t.capture_basis_from(&basic))
+    }
+
     /// Resolves a snapshot's entries to column indices of *this* tableau,
     /// or `None` when the snapshot is incompatible (different dimensions,
     /// or an entry with no matching column — e.g. a row whose RHS
@@ -1041,6 +1128,31 @@ mod tests {
         p.constrain(x.into(), Sense::Ge, 2.0);
         p.minimize(x.into());
         assert_eq!(p.solve().unwrap().status(), Status::Infeasible);
+    }
+
+    #[test]
+    fn basis_from_point_warm_starts() {
+        // Crossover from the known optimum of the textbook model: the
+        // warm solve must reach the same optimum, typically in fewer
+        // pivots than the cold two-phase run.
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.constrain(x.into(), Sense::Le, 4.0);
+        p.constrain(2.0 * y, Sense::Le, 12.0);
+        p.constrain(3.0 * x + 2.0 * y, Sense::Le, 18.0);
+        p.maximize(3.0 * x + 5.0 * y);
+        let basis = p.basis_from_point(&[2.0, 6.0]).unwrap();
+        let warm = p.solve_from_basis(&basis).unwrap().into_optimal().unwrap();
+        assert!(near(warm.objective(), 36.0));
+        assert!(near(warm.value(x), 2.0));
+        assert!(near(warm.value(y), 6.0));
+        // An interior (suboptimal) point still yields a usable basis.
+        let rough = p.basis_from_point(&[1.0, 1.0]).unwrap();
+        let s = p.solve_from_basis(&rough).unwrap().into_optimal().unwrap();
+        assert!(near(s.objective(), 36.0));
+        // And a wrong-length point is rejected.
+        assert!(p.basis_from_point(&[1.0]).is_err());
     }
 
     #[test]

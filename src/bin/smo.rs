@@ -26,8 +26,8 @@ use smo::circuit::EdgeId;
 use smo::circuit::{lump_equivalent_latches, netlist, to_dot, Circuit, ClockSchedule};
 use smo::sim::{monte_carlo, simulate, MonteCarloOptions, SimOptions};
 use smo::timing::{
-    min_cycle_time, min_cycle_time_with, render_solution, sweep_cycle_time, timing_report, verify,
-    MlpOptions, SweepOptions, SweepParam, SweepReport, TimingModel,
+    graph_feasible_at, min_cycle_time, min_cycle_time_with, render_solution, sweep_cycle_time,
+    timing_report, verify, Backend, MlpOptions, SweepOptions, SweepParam, SweepReport, TimingModel,
 };
 use std::process::ExitCode;
 
@@ -46,13 +46,27 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   smo optimize <netlist>                         minimum cycle time + schedule
-  smo solve    <netlist> [--no-certify] [--time-limit <secs>] [--json]
+  smo solve    <netlist> [--backend auto|graph|lp] [--no-certify]
+               [--time-limit <secs>] [--json]
                                                  minimum cycle time with every
-                                                 LP verdict independently
-                                                 KKT-checked (exit 1 if any
-                                                 check cannot be satisfied)
+                                                 solver verdict independently
+                                                 checked: KKT certificates on
+                                                 the simplex path, a re-checked
+                                                 critical cycle on the graph
+                                                 fast path (exit 1 if any
+                                                 check cannot be satisfied);
+                                                 `auto` (default) solves
+                                                 difference-only models on the
+                                                 graph and warm-starts the
+                                                 simplex otherwise
   smo report   <netlist>                         full timing report
-  smo verify   <netlist> <Tc> <s,w> [<s,w> ...]  check a concrete schedule
+  smo verify   <netlist> <Tc> <s,w> [<s,w> ...] [--backend auto|graph|lp]
+                                                 check a concrete schedule;
+                                                 with the graph backend also
+                                                 reports whether ANY schedule
+                                                 exists at Tc (exit 2 if that
+                                                 cross-check contradicts the
+                                                 row-by-row verdict)
   smo simulate <netlist> [waves]                 behavioural simulation
   smo dot      <netlist>                         Graphviz export
   smo lp       <netlist>                         LP-format dump of problem P2
@@ -91,12 +105,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "solve" => {
             let mut path = None;
-            let mut options = MlpOptions::default();
+            let mut options = MlpOptions {
+                backend: Backend::Auto,
+                ..Default::default()
+            };
             let mut json = false;
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--no-certify" => options.certify = false,
+                    "--backend" => {
+                        options.backend = it
+                            .next()
+                            .ok_or("--backend needs a value (auto, graph or lp)")?
+                            .parse()?;
+                    }
                     "--time-limit" => {
                         let secs: f64 = it
                             .next()
@@ -123,15 +146,28 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 println!("{}", solve_json(&sol));
             } else {
                 println!("optimal cycle time: {:.6}", sol.cycle_time());
+                println!(
+                    "backend: {}",
+                    if sol.graph_certificate().is_some() {
+                        "graph (exact min-cycle-ratio)"
+                    } else {
+                        "lp (simplex)"
+                    }
+                );
                 println!("certified: {}", sol.certified());
                 for (i, cert) in sol.certificates().iter().enumerate() {
                     println!("  lp {}: {cert}", i + 1);
                 }
+                if let Some(gc) = sol.graph_certificate() {
+                    println!("  graph: {gc}");
+                }
                 print!("{}", render_solution(&circuit, &sol));
             }
-            // `certify` on and a returned solution imply every LP verdict
-            // passed its independent check; `certified()` can only be false
-            // here when the user asked for --no-certify.
+            // `certify` on and a returned solution imply every solver
+            // verdict passed its independent check (KKT on the simplex
+            // path, the re-derived critical cycle on the graph path);
+            // `certified()` can only be false here when the user asked for
+            // --no-certify on a simplex-path solve.
             Ok(if options.certify && !sol.certified() {
                 ExitCode::FAILURE
             } else {
@@ -146,7 +182,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "verify" => {
+            let mut backend = Backend::Auto;
+            let mut positional: Vec<&String> = Vec::new();
             let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--backend" => {
+                        backend = it
+                            .next()
+                            .ok_or("--backend needs a value (auto, graph or lp)")?
+                            .parse()?;
+                    }
+                    _ => positional.push(arg),
+                }
+            }
+            let mut it = positional.into_iter();
             let circuit = load(it.next().ok_or("missing netlist path")?)?;
             let tc: f64 = it
                 .next()
@@ -179,14 +229,43 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             let sched = ClockSchedule::new(tc, starts, widths).map_err(|e| e.to_string())?;
             let report = verify(&circuit, &sched);
+            // Graph cross-check: Bellman–Ford on the difference graph
+            // decides whether ANY schedule exists at this cycle time. A
+            // feasible concrete schedule is itself a witness, so
+            // "row check feasible, graph says nothing exists" is an
+            // internal soundness bug worth a loud exit code.
+            let exists = if backend == Backend::Lp {
+                None
+            } else {
+                graph_feasible_at(&circuit, tc).map_err(|e| e.to_string())?
+            };
             if report.is_feasible() {
                 println!("FEASIBLE (worst setup slack {:.4})", report.worst_slack());
+                match exists {
+                    Some(true) => println!("graph: confirmed, Tc = {tc} is achievable"),
+                    Some(false) => {
+                        eprintln!(
+                            "verify error: the schedule passes the row checks but the \
+                             difference graph reports no feasible schedule at Tc = {tc}"
+                        );
+                        return Ok(ExitCode::from(2));
+                    }
+                    None => {}
+                }
                 Ok(ExitCode::SUCCESS)
             } else {
                 for v in report.violations() {
                     println!("VIOLATION: {v}");
                 }
                 println!("INFEASIBLE");
+                match exists {
+                    Some(true) => println!(
+                        "graph: a different schedule IS feasible at Tc = {tc} \
+                         (try `smo solve`)"
+                    ),
+                    Some(false) => println!("graph: no schedule at all exists at Tc = {tc}"),
+                    None => {}
+                }
                 Ok(ExitCode::FAILURE)
             }
         }
@@ -280,7 +359,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 // stderr with a distinct exit code and no usage banner.
                 Err(
                     e @ (AnalyzeError::BoundsDisagree { .. }
-                    | AnalyzeError::PresolveDisagree { .. }),
+                    | AnalyzeError::PresolveDisagree { .. }
+                    | AnalyzeError::BackendDisagree { .. }),
                 ) => {
                     eprintln!("analyze error: {e}");
                     Ok(ExitCode::from(2))
@@ -548,6 +628,24 @@ fn solve_json(sol: &smo::timing::TimingSolution) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"cycle_time\": {:.6},\n", sol.cycle_time()));
     out.push_str(&format!("  \"certified\": {},\n", sol.certified()));
+    out.push_str(&format!(
+        "  \"backend\": \"{}\",\n",
+        if sol.graph_certificate().is_some() {
+            "graph"
+        } else {
+            "lp"
+        }
+    ));
+    if let Some(gc) = sol.graph_certificate() {
+        out.push_str(&format!(
+            "  \"graph_certificate\": {{\"valid\": {}, \"implied_lower\": {:.6}, \
+             \"witness_rows\": {}, \"max_violation\": {:e}}},\n",
+            gc.is_valid(),
+            gc.implied_lower(),
+            gc.witness_rows(),
+            gc.max_violation()
+        ));
+    }
     out.push_str(&format!(
         "  \"lp_iterations\": {},\n  \"update_iterations\": {},\n  \"num_constraints\": {},\n",
         sol.lp_iterations(),

@@ -353,7 +353,21 @@ fn solve_certifies_every_shipped_netlist() {
         "circuits/appendix_fig1.ckt",
         "circuits/alu_bypass.ckt",
     ] {
+        // Default (auto): the shipped netlists are pure difference
+        // systems, so the graph backend engages with its own certificate.
         let out = smo(&["solve", f]);
+        assert!(
+            out.status.success(),
+            "{f}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = stdout(&out);
+        assert!(text.contains("certified: true"), "{f}: {text}");
+        assert!(text.contains("backend: graph"), "{f}: {text}");
+        assert!(text.contains("graph: valid"), "{f}: {text}");
+
+        // Forced LP: the simplex certificates must still be there.
+        let out = smo(&["solve", f, "--backend", "lp"]);
         assert!(
             out.status.success(),
             "{f}: {}",
@@ -367,11 +381,29 @@ fn solve_certifies_every_shipped_netlist() {
 
 #[test]
 fn solve_json_carries_certificates() {
+    // Graph path (default): one graph certificate, no LP residuals.
     let out = smo(&["solve", "circuits/example1.ckt", "--json"]);
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("\"cycle_time\": 110.000000"), "{text}");
     assert!(text.contains("\"certified\": true"), "{text}");
+    assert!(text.contains("\"backend\": \"graph\""), "{text}");
+    assert!(text.contains("\"graph_certificate\""), "{text}");
+    assert!(text.contains("\"implied_lower\": 110.000000"), "{text}");
+
+    // LP path: the KKT certificates, one per LP.
+    let out = smo(&[
+        "solve",
+        "circuits/example1.ckt",
+        "--backend",
+        "lp",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("\"cycle_time\": 110.000000"), "{text}");
+    assert!(text.contains("\"certified\": true"), "{text}");
+    assert!(text.contains("\"backend\": \"lp\""), "{text}");
     assert!(text.contains("\"worst_residual\""), "{text}");
     assert!(text.contains("\"duality gap\""), "{text}");
     assert_eq!(
@@ -383,11 +415,27 @@ fn solve_json_carries_certificates() {
 
 #[test]
 fn solve_no_certify_skips_certificates() {
-    let out = smo(&["solve", "circuits/example1.ckt", "--no-certify"]);
+    // On the LP backend, --no-certify drops the KKT check entirely.
+    let out = smo(&[
+        "solve",
+        "circuits/example1.ckt",
+        "--backend",
+        "lp",
+        "--no-certify",
+    ]);
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("certified: false"), "{text}");
     assert!(text.contains("optimal cycle time: 110.000000"), "{text}");
+
+    // The graph certificate is a byproduct of the solve itself (checking
+    // it costs one pass over the rows), so the fast path stays certified
+    // even under --no-certify.
+    let out = smo(&["solve", "circuits/example1.ckt", "--no-certify"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("certified: true"), "{text}");
+    assert!(text.contains("backend: graph"), "{text}");
 }
 
 #[test]
