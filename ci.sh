@@ -66,12 +66,45 @@ for ckt in circuits/*.ckt; do
   ./target/release/smo sweep "$ckt" --runs 4 --jobs 2 --certify > /dev/null
 done
 
+echo "==> smo check over circuits/*.ckt (race gate)"
+# The one-shot static gate: lint passes + solve + short-path race
+# analysis. Every shipped netlist must pass clean — except the
+# deliberately racy demo, which must trip the gate with exit code 2 and
+# a measured double-clocking-race witness.
+for ckt in circuits/*.ckt; do
+  echo "--- check $ckt"
+  if [ "$ckt" = "circuits/race_demo.ckt" ]; then
+    set +e
+    check_out=$(./target/release/smo check "$ckt")
+    check_rc=$?
+    set -e
+    if [ "$check_rc" -ne 2 ]; then
+      echo "smo check $ckt: expected exit code 2, got $check_rc" >&2
+      printf '%s\n' "$check_out" >&2
+      exit 1
+    fi
+    printf '%s\n' "$check_out" | grep 'error: \[double-clocking-race\]' > /dev/null
+    printf '%s\n' "$check_out" | grep 'retires the race' > /dev/null
+  else
+    ./target/release/smo check "$ckt" > /dev/null
+  fi
+done
+
 echo "==> panic-freedom attributes on the numerical fast-path modules"
 # The graph solver and the fast-path router must keep their deny-level
 # unwrap/expect gates: a panic inside either would take down every
 # `--backend auto` caller on pathological inputs.
 grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/lp/src/graph.rs
 grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/core/src/fastpath.rs
+
+echo "==> panic-freedom attributes across the analysis layer"
+# The static-analysis crate backs the `smo check` CI gate itself: every
+# source file keeps the deny-level unwrap/expect attribute so a
+# pathological netlist degrades to an AnalyzeError, never a panic.
+for f in crates/analyze/src/*.rs; do
+  grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f" \
+    || { echo "missing unwrap/expect deny attribute: $f" >&2; exit 1; }
+done
 
 echo "==> bench_sweep (regenerates BENCH_sweep.json, enforces warm >= 2x cold)"
 cargo run -q --release -p smo-bench --bin bench_sweep

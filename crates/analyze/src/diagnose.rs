@@ -4,6 +4,8 @@
 //! timing model (optionally with a cycle-time cap), solve it, and either
 //! report the optimum or explain the conflict.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use smo_circuit::Circuit;
 use smo_core::{
     diagnose_infeasibility, ConstraintOptions, InfeasibilityReport, TimingError, TimingModel,
@@ -102,6 +104,7 @@ pub fn diagnose(circuit: &Circuit, cycle_time: Option<f64>) -> Result<Diagnosis,
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use smo_circuit::{CircuitBuilder, PhaseId};

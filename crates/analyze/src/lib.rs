@@ -1,12 +1,23 @@
 //! # smo-analyze — circuit lints, infeasibility diagnosis, constraint analysis
 //!
-//! Static-analysis companion to the SMO timing engine, with three passes:
+//! Static-analysis companion to the SMO timing engine:
 //!
-//! * **Linting** ([`lint`]) — severity-tiered structural checks over a
-//!   [`Circuit`](smo_circuit::Circuit): dangling synchronizers, dead
+//! * **Linting** ([`lint`], [`lint_with`]) — severity-tiered structural
+//!   checks over a [`Circuit`](smo_circuit::Circuit), organised as
+//!   registered [`passes`](passes::Pass) sharing one [`AnalysisContext`]
+//!   (SCCs, reachability, connectivity, phase usage and the min/max delay
+//!   closure are each computed once): dangling synchronizers, dead
 //!   phases, duplicate paths, zero-delay transparent loops (critical
-//!   races), thin flip-flop hold margins and suspicious `Δ_DQ`/setup
-//!   ratios. No LP is solved; this is a pure graph pass.
+//!   races), thin flip-flop hold margins (measured `mindelay` data when
+//!   present, a heuristic otherwise) and suspicious `Δ_DQ`/setup ratios.
+//!   No LP is solved; this is a pure graph pass. A [`PassConfig`]
+//!   suppresses or re-grades rules, and findings sort canonically so
+//!   `--json` output is byte-deterministic.
+//! * **Checking** ([`check`]) — the one-shot static gate behind
+//!   `smo check`: lint passes + the cycle-time solve (graph or LP
+//!   backend) + the paper's short-path constraint family. Every
+//!   double-clocking race lands in the findings as an error with its
+//!   [`ShortPathWitness`](smo_core::ShortPathWitness) text.
 //! * **Diagnosis** ([`diagnose`]) — when a cycle-time target makes the
 //!   timing LP infeasible, answer *why*: extract a Farkas-certified
 //!   irreducible infeasible subsystem and map every member back to the
@@ -46,11 +57,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
+mod check;
+mod context;
 mod diagnose;
 mod lint;
+pub mod passes;
 mod report;
 
+pub use check::{check, CheckOptions, CheckReport};
+pub use context::{AnalysisContext, PairDelays};
 pub use diagnose::{diagnose, diagnose_with, Diagnosis};
-pub use lint::{lint, Finding, LintReport, Rule, Severity};
+pub use lint::{lint, lint_with, Finding, LintReport, PassConfig, Rule, Severity};
 pub use report::{analyze, constraint_family, AnalyzeError, AnalyzeReport};

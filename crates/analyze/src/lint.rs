@@ -1,9 +1,10 @@
 //! Circuit lints: structural and parametric sanity checks.
 //!
 //! The timing engine answers "what is the minimum cycle time?"; the linter
-//! answers "does this circuit description even make sense?". Each rule
-//! inspects the [`Circuit`] graph — no LP is solved — and reports
-//! [`Finding`]s at three severities:
+//! answers "does this circuit description even make sense?". Each rule is
+//! a [`Pass`](crate::passes::Pass) over a shared
+//! [`AnalysisContext`](crate::AnalysisContext) — no LP is solved — and
+//! reports [`Finding`]s at three severities:
 //!
 //! * [`Severity::Error`] — the circuit is analysable but almost certainly
 //!   wrong (e.g. a zero-delay loop of transparent latches, a critical
@@ -13,10 +14,21 @@
 //!   paths, thin hold margins);
 //! * [`Severity::Info`] — unusual parameter ratios worth a second look.
 //!
+//! A [`PassConfig`] suppresses rules (`allow`) or re-grades them
+//! (`deny` / `severity`); findings are sorted by (severity, rule,
+//! location, message) so reports — including `--json` output — are
+//! byte-deterministic for a given circuit and configuration.
+//!
 //! All shipped `circuits/*.ckt` lint clean; the rules are tuned to flag
 //! genuine modelling accidents, not stylistic variance.
 
-use smo_circuit::{Circuit, SyncKind};
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::context::AnalysisContext;
+use crate::passes::registry;
+use smo_circuit::Circuit;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// How bad a finding is.
@@ -40,8 +52,9 @@ impl fmt::Display for Severity {
     }
 }
 
-/// The lint rules, one per structural check.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The analysis rules: one per structural check, plus the race rule the
+/// full [`check`](crate::check) pipeline adds on top of the solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// A synchronizer with no fan-in *and* no fan-out: it constrains
     /// nothing and is probably a leftover or a typo in a `path` line.
@@ -56,7 +69,9 @@ pub enum Rule {
     /// delay around it: a critical race no clock schedule can fix.
     ZeroDelayLoop,
     /// A flip-flop whose hold requirement exceeds the short-path delay of
-    /// a same-phase fan-in edge (same-edge race).
+    /// a same-phase fan-in edge (same-edge race). Uses measured
+    /// `mindelay` data when present; falls back to a half-the-long-path
+    /// heuristic otherwise.
     HoldMargin,
     /// Suspicious latch parameters: zero setup, or `Δ_DQ` much larger
     /// than setup.
@@ -71,9 +86,29 @@ pub enum Rule {
     /// the LP couples them only through the shared clock, which usually
     /// means two unrelated netlists were pasted together.
     DisconnectedComponents,
+    /// A double-clocking race at the solved schedule: early data crosses
+    /// a short path and lands before the destination's hold deadline, so
+    /// the *next* wave overwrites state in the *current* cycle. Only the
+    /// full `check` pipeline (lint + solve + race analysis) emits this.
+    /// Error-severity when the short path is measured (`mindelay`),
+    /// warn-severity when only the max-delay assumption supports it.
+    DoubleClockingRace,
 }
 
 impl Rule {
+    /// Every rule, in a stable order (used by CLI filters and docs).
+    pub const ALL: [Rule; 9] = [
+        Rule::UnconstrainedSync,
+        Rule::DeadPhase,
+        Rule::DuplicateEdge,
+        Rule::ZeroDelayLoop,
+        Rule::HoldMargin,
+        Rule::SuspiciousRatio,
+        Rule::UnreachableFromCore,
+        Rule::DisconnectedComponents,
+        Rule::DoubleClockingRace,
+    ];
+
     /// Stable kebab-case identifier (used in reports and filters).
     pub fn name(self) -> &'static str {
         match self {
@@ -85,7 +120,14 @@ impl Rule {
             Rule::SuspiciousRatio => "suspicious-ratio",
             Rule::UnreachableFromCore => "unreachable-from-core",
             Rule::DisconnectedComponents => "disconnected-components",
+            Rule::DoubleClockingRace => "double-clocking-race",
         }
+    }
+
+    /// Parses the kebab-case identifier back into a rule (the inverse of
+    /// [`Rule::name`]); `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
     }
 }
 
@@ -102,6 +144,9 @@ pub struct Finding {
     pub rule: Rule,
     /// How bad it is.
     pub severity: Severity,
+    /// Where it fired: a synchronizer name, `from→to#edge`, a phase, or a
+    /// loop chain — stable across runs, used as the sort tiebreaker.
+    pub location: String,
     /// What, specifically, is wrong (names the circuit elements).
     pub message: String,
 }
@@ -112,12 +157,77 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Per-rule configuration for a lint/check run: suppressions and
+/// severity overrides, applied to findings after the passes run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PassConfig {
+    allowed: BTreeSet<Rule>,
+    severities: BTreeMap<Rule, Severity>,
+}
+
+impl PassConfig {
+    /// The default configuration: nothing suppressed, stock severities.
+    pub fn new() -> Self {
+        PassConfig::default()
+    }
+
+    /// Suppresses every finding of `rule` (CLI `--allow RULE`).
+    pub fn allow(mut self, rule: Rule) -> Self {
+        self.allowed.insert(rule);
+        self
+    }
+
+    /// Escalates `rule` to [`Severity::Error`] (CLI `--deny RULE`), so it
+    /// fails the `check` exit code. Overrides a prior `severity` call.
+    pub fn deny(self, rule: Rule) -> Self {
+        self.severity(rule, Severity::Error)
+    }
+
+    /// Overrides the severity of `rule`'s findings.
+    pub fn severity(mut self, rule: Rule, severity: Severity) -> Self {
+        self.severities.insert(rule, severity);
+        self
+    }
+
+    /// `true` when `rule` is suppressed.
+    pub fn is_allowed(&self, rule: Rule) -> bool {
+        self.allowed.contains(&rule)
+    }
+
+    /// Applies the configuration to one finding: `None` if suppressed,
+    /// otherwise the finding with any severity override applied.
+    pub(crate) fn apply(&self, mut finding: Finding) -> Option<Finding> {
+        if self.is_allowed(finding.rule) {
+            return None;
+        }
+        if let Some(&severity) = self.severities.get(&finding.rule) {
+            finding.severity = severity;
+        }
+        Some(finding)
+    }
+}
+
 /// The result of linting one circuit.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LintReport {
-    /// All findings, in rule order (errors are not sorted first; use
-    /// [`LintReport::worst`] for the headline).
+    /// All findings, sorted by (severity — errors first, rule, location,
+    /// message) so a report is byte-deterministic for a given circuit and
+    /// configuration.
     pub findings: Vec<Finding>,
+}
+
+/// Sorts findings into the canonical report order: errors first, then by
+/// rule name, location and message. Stable output is part of the findings
+/// format contract (machine consumers may diff `--json` byte-for-byte).
+pub(crate) fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (Reverse(a.severity), a.rule.name(), &a.location, &a.message).cmp(&(
+            Reverse(b.severity),
+            b.rule.name(),
+            &b.location,
+            &b.message,
+        ))
+    });
 }
 
 impl LintReport {
@@ -146,7 +256,7 @@ impl LintReport {
 
     /// Renders the report as a JSON object (hand-rolled, mirroring the
     /// `Display` content): a `clean` flag, per-severity counts, and the
-    /// findings with rule name, severity and message.
+    /// sorted findings with rule name, severity, location and message.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
@@ -156,23 +266,34 @@ impl LintReport {
             self.count(Severity::Warn),
             self.count(Severity::Info)
         ));
-        out.push_str("  \"findings\": [\n");
-        for (i, f) in self.findings.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"}}{}\n",
-                f.rule,
-                f.severity,
-                json_escape(&f.message),
-                if i + 1 < self.findings.len() { "," } else { "" },
-            ));
-        }
-        out.push_str("  ]\n}");
+        out.push_str(&findings_json(&self.findings, "  "));
+        out.push_str("\n}");
         out
     }
 }
 
+/// Renders the shared `"findings": [...]` JSON fragment (no trailing
+/// newline) at the given indent. Both `lint --json` and `check --json`
+/// embed this, so the per-finding schema cannot drift between them.
+pub(crate) fn findings_json(findings: &[Finding], indent: &str) -> String {
+    let mut out = format!("{indent}\"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "{indent}  {{\"rule\": \"{}\", \"severity\": \"{}\", \"location\": \"{}\", \
+             \"message\": \"{}\"}}{}\n",
+            f.rule,
+            f.severity,
+            json_escape(&f.location),
+            json_escape(&f.message),
+            if i + 1 < findings.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!("{indent}]"));
+    out
+}
+
 /// Escapes a string for embedding in a JSON literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -206,257 +327,31 @@ impl fmt::Display for LintReport {
     }
 }
 
-/// Bound on enumerated feedback cycles (cycle counts can be exponential).
-const CYCLE_LIMIT: usize = 256;
-
-/// `Δ_DQ / Δ_DC` ratio above which [`Rule::SuspiciousRatio`] fires.
-const RATIO_LIMIT: f64 = 10.0;
-
-/// Runs every lint rule over `circuit`.
+/// Runs every lint pass over `circuit` with the stock configuration.
 pub fn lint(circuit: &Circuit) -> LintReport {
+    lint_with(circuit, &PassConfig::default())
+}
+
+/// Runs every lint pass over `circuit`: computes the shared
+/// [`AnalysisContext`] once, runs each registered pass, applies `config`
+/// (suppressions and severity overrides) and sorts the surviving findings
+/// into canonical order.
+pub fn lint_with(circuit: &Circuit, config: &PassConfig) -> LintReport {
+    let ctx = AnalysisContext::new(circuit);
     let mut findings = Vec::new();
-    let mut push = |rule, severity, message| {
-        findings.push(Finding {
-            rule,
-            severity,
-            message,
-        });
-    };
-
-    // unconstrained-sync: no fan-in and no fan-out.
-    for (id, s) in circuit.syncs() {
-        if circuit.fanin(id).is_empty() && circuit.fanout(id).is_empty() {
-            push(
-                Rule::UnconstrainedSync,
-                Severity::Warn,
-                format!(
-                    "{} `{}` has no fan-in and no fan-out; it constrains nothing",
-                    s.kind, s.name
-                ),
-            );
-        }
+    for pass in registry() {
+        pass.run(&ctx, &mut findings);
     }
-
-    // dead-phase: a phase controlling no synchronizer.
-    for i in 0..circuit.num_phases() {
-        let phase = smo_circuit::PhaseId::new(i);
-        if circuit.syncs_on_phase(phase).next().is_none() {
-            push(
-                Rule::DeadPhase,
-                Severity::Warn,
-                format!("phase {phase} controls no synchronizer"),
-            );
-        }
-    }
-
-    // duplicate-edge: repeated (from, to) pairs.
-    let mut seen = std::collections::HashSet::new();
-    for e in circuit.edges() {
-        if !seen.insert((e.from, e.to)) {
-            push(
-                Rule::DuplicateEdge,
-                Severity::Warn,
-                format!(
-                    "duplicate path `{}` → `{}`; only the slower delay constrains long paths",
-                    circuit.sync(e.from).name,
-                    circuit.sync(e.to).name
-                ),
-            );
-        }
-    }
-
-    // zero-delay-loop: an all-latch feedback cycle with zero total delay
-    // (combinational + Δ_DQ) — data races around it while every latch on
-    // the loop is transparent, and no clock schedule can stop it.
-    for cycle in circuit.cycles(CYCLE_LIMIT) {
-        let all_latches = cycle
-            .latches
-            .iter()
-            .all(|&l| circuit.sync(l).kind == SyncKind::Latch);
-        if all_latches && circuit.cycle_delay(&cycle) <= 0.0 {
-            // Render with latch names, not the id-based `Cycle` display.
-            let mut path: Vec<&str> = cycle
-                .latches
-                .iter()
-                .map(|&l| circuit.sync(l).name.as_str())
-                .collect();
-            if let Some(&first) = path.first() {
-                path.push(first);
-            }
-            push(
-                Rule::ZeroDelayLoop,
-                Severity::Error,
-                format!(
-                    "zero-delay loop through transparent latches ({}): critical race",
-                    path.join(" → ")
-                ),
-            );
-        }
-    }
-
-    // hold-margin: same-phase fan-in into a flip-flop with a hold
-    // requirement larger than the short-path (contamination) delay.
-    for e in circuit.edges() {
-        let dst = circuit.sync(e.to);
-        let src = circuit.sync(e.from);
-        if dst.kind == SyncKind::FlipFlop
-            && dst.hold > 0.0
-            && src.phase == dst.phase
-            && e.min_delay < dst.hold
-        {
-            push(
-                Rule::HoldMargin,
-                Severity::Warn,
-                format!(
-                    "flip-flop `{}` requires hold {} but the same-phase path from `{}` \
-                     can arrive after only {}",
-                    dst.name, dst.hold, src.name, e.min_delay
-                ),
-            );
-        }
-    }
-
-    // unreachable-from-core: synchronizers with no path to or from any
-    // cyclic SCC. Reuses the same SCC decomposition that powers
-    // `cycle_time_bounds`' per-component critical cycles. A feed-forward
-    // circuit has no recurrent core, so the rule is skipped entirely there
-    // rather than flagging every latch.
-    let n = circuit.num_syncs();
-    let mut in_cyclic = vec![false; n];
-    for comp in circuit.sccs() {
-        let cyclic = comp.len() > 1
-            || comp.len() == 1 && {
-                let l = comp[0];
-                circuit.fanout(l).iter().any(|&e| {
-                    let edge = &circuit.edges()[e.index()];
-                    edge.to == l
-                })
-            };
-        if cyclic {
-            for l in comp {
-                in_cyclic[l.index()] = true;
-            }
-        }
-    }
-    if in_cyclic.iter().any(|&c| c) {
-        // Forward and backward reachability from the cyclic cores.
-        let reach = |forward: bool| -> Vec<bool> {
-            let mut seen = in_cyclic.clone();
-            let mut stack: Vec<usize> = (0..n).filter(|&i| in_cyclic[i]).collect();
-            while let Some(i) = stack.pop() {
-                let id = smo_circuit::LatchId::new(i);
-                let edges = if forward {
-                    circuit.fanout(id)
-                } else {
-                    circuit.fanin(id)
-                };
-                for &e in edges {
-                    let edge = &circuit.edges()[e.index()];
-                    let next = if forward { edge.to } else { edge.from };
-                    if !seen[next.index()] {
-                        seen[next.index()] = true;
-                        stack.push(next.index());
-                    }
-                }
-            }
-            seen
-        };
-        let downstream = reach(true);
-        let upstream = reach(false);
-        for (id, s) in circuit.syncs() {
-            let i = id.index();
-            // Completely isolated synchronizers are unconstrained-sync
-            // territory; double-flagging them here is noise.
-            if circuit.fanin(id).is_empty() && circuit.fanout(id).is_empty() {
-                continue;
-            }
-            if !downstream[i] && !upstream[i] {
-                push(
-                    Rule::UnreachableFromCore,
-                    Severity::Warn,
-                    format!(
-                        "{} `{}` has no path to or from any feedback loop; it floats \
-                         free of the circuit's recurrent core",
-                        s.kind, s.name
-                    ),
-                );
-            }
-        }
-    }
-
-    // disconnected-components: the latch graph (ignoring completely
-    // isolated synchronizers, which unconstrained-sync already flags)
-    // splits into several weakly connected islands.
-    {
-        let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut [usize], mut i: usize) -> usize {
-            while parent[i] != i {
-                parent[i] = parent[parent[i]];
-                i = parent[i];
-            }
-            i
-        }
-        for e in circuit.edges() {
-            let (a, b) = (
-                find(&mut parent, e.from.index()),
-                find(&mut parent, e.to.index()),
-            );
-            parent[a] = b;
-        }
-        let mut roots: Vec<usize> = (0..n)
-            .filter(|&i| {
-                let id = smo_circuit::LatchId::new(i);
-                !(circuit.fanin(id).is_empty() && circuit.fanout(id).is_empty())
-            })
-            .map(|i| find(&mut parent, i))
-            .collect();
-        roots.sort_unstable();
-        roots.dedup();
-        if roots.len() > 1 {
-            let names: Vec<String> = roots
-                .iter()
-                .map(|&r| format!("`{}`", circuit.sync(smo_circuit::LatchId::new(r)).name))
-                .collect();
-            push(
-                Rule::DisconnectedComponents,
-                Severity::Warn,
-                format!(
-                    "the constraint graph splits into {} disconnected components \
-                     (containing {}); they couple only through the shared clock",
-                    roots.len(),
-                    names.join(", ")
-                ),
-            );
-        }
-    }
-
-    // suspicious-ratio: zero setup, or Δ_DQ far larger than setup.
-    for (_, s) in circuit.syncs() {
-        if s.setup <= 0.0 && s.dq > 0.0 {
-            push(
-                Rule::SuspiciousRatio,
-                Severity::Info,
-                format!(
-                    "{} `{}` has zero setup time but Δ_DQ = {}; setup rows degenerate",
-                    s.kind, s.name, s.dq
-                ),
-            );
-        } else if s.setup > 0.0 && s.dq / s.setup > RATIO_LIMIT {
-            push(
-                Rule::SuspiciousRatio,
-                Severity::Info,
-                format!(
-                    "{} `{}` has Δ_DQ = {} over {}× its setup {}; check the units",
-                    s.kind, s.name, s.dq, RATIO_LIMIT, s.setup
-                ),
-            );
-        }
-    }
-
+    let mut findings: Vec<Finding> = findings
+        .into_iter()
+        .filter_map(|f| config.apply(f))
+        .collect();
+    sort_findings(&mut findings);
     LintReport { findings }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use smo_circuit::{CircuitBuilder, PhaseId, Synchronizer};
@@ -505,6 +400,7 @@ mod tests {
         let report = lint(&b.build().unwrap());
         assert_eq!(report.count(Severity::Warn), 1);
         assert_eq!(report.findings[0].rule, Rule::DuplicateEdge);
+        assert_eq!(report.findings[0].location, "L1→L2#1");
     }
 
     #[test]
@@ -546,6 +442,55 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.rule == Rule::HoldMargin && f.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn measured_short_path_above_hold_is_clean() {
+        // Same shape, but the measured short path clears the hold time:
+        // the heuristic (half of max = 1.5 > 0.5) never enters into it.
+        let mut b = CircuitBuilder::new(2);
+        let a = b.add_sync(Synchronizer::flip_flop("A", p(1), 0.1, 0.2));
+        let c = b.add_sync(Synchronizer::flip_flop("C", p(1), 0.1, 0.2).with_hold(0.5));
+        b.connect_min_max(a, c, 0.6, 3.0);
+        b.connect(c, a, 3.0);
+        let report = lint(&b.build().unwrap());
+        assert!(
+            !report.findings.iter().any(|f| f.rule == Rule::HoldMargin),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn unmeasured_short_path_uses_the_heuristic_fallback() {
+        // No mindelay data: the rule assumes early data can beat the long
+        // path by half. hold 0.5 > 0.5 × max 0.8 = 0.4 → flagged, and the
+        // message says the data is missing.
+        let mut b = CircuitBuilder::new(2);
+        let a = b.add_sync(Synchronizer::flip_flop("A", p(1), 0.1, 0.2));
+        let c = b.add_sync(Synchronizer::flip_flop("C", p(1), 0.1, 0.2).with_hold(0.5));
+        b.connect(a, c, 0.8);
+        b.connect(c, a, 3.0);
+        let report = lint(&b.build().unwrap());
+        let finding = report
+            .findings
+            .iter()
+            .find(|f| f.rule == Rule::HoldMargin)
+            .expect("heuristic should fire");
+        assert!(finding.message.contains("no measured short-path delay"));
+        assert!(finding.message.contains("mindelay"));
+
+        // A comfortably long unmeasured path does not fire: half of max
+        // 3.0 = 1.5 clears hold 0.5.
+        let mut b = CircuitBuilder::new(2);
+        let a = b.add_sync(Synchronizer::flip_flop("A", p(1), 0.1, 0.2));
+        let c = b.add_sync(Synchronizer::flip_flop("C", p(1), 0.1, 0.2).with_hold(0.5));
+        b.connect(a, c, 3.0);
+        b.connect(c, a, 3.0);
+        let report = lint(&b.build().unwrap());
+        assert!(
+            !report.findings.iter().any(|f| f.rule == Rule::HoldMargin),
+            "{report}"
+        );
     }
 
     #[test]
@@ -668,6 +613,7 @@ mod tests {
         assert!(json.contains("\"clean\": false"));
         assert!(json.contains("\"warnings\": 1"));
         assert!(json.contains("\"rule\": \"unconstrained-sync\""));
+        assert!(json.contains("\"location\": \"orphan\""));
         assert!(json.contains("orphan"));
     }
 
@@ -687,5 +633,79 @@ mod tests {
     fn severity_ordering_is_info_warn_error() {
         assert!(Severity::Info < Severity::Warn);
         assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+
+    /// A circuit that trips several rules at several severities in one go.
+    fn noisy_circuit() -> smo_circuit::Circuit {
+        let mut b = CircuitBuilder::new(3); // phase 3 dead
+        let l1 = b.add_latch("L1", p(1), 0.01, 2.0); // suspicious ratio
+        let l2 = b.add_latch("L2", p(2), 1.0, 2.0);
+        b.add_latch("orphan", p(1), 1.0, 2.0); // unconstrained
+        b.connect(l1, l2, 5.0);
+        b.connect(l1, l2, 7.0); // duplicate
+        b.connect(l2, l1, 5.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn findings_are_sorted_by_severity_then_rule_then_location() {
+        let report = lint(&noisy_circuit());
+        assert!(report.findings.len() >= 4, "{report}");
+        let keys: Vec<(Reverse<Severity>, &str, &String)> = report
+            .findings
+            .iter()
+            .map(|f| (Reverse(f.severity), f.rule.name(), &f.location))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "{report}");
+        // Errors (none here) would come first; warns precede infos.
+        assert_eq!(
+            report.findings.last().map(|f| f.severity),
+            Some(Severity::Info)
+        );
+    }
+
+    #[test]
+    fn json_output_is_byte_deterministic() {
+        let circuit = noisy_circuit();
+        let a = lint(&circuit).to_json();
+        let b = lint(&circuit).to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn allow_suppresses_and_deny_escalates() {
+        let circuit = noisy_circuit();
+        let stock = lint(&circuit);
+        assert!(stock.findings.iter().any(|f| f.rule == Rule::DeadPhase));
+        assert!(!stock.has_errors());
+
+        let allowed = lint_with(&circuit, &PassConfig::new().allow(Rule::DeadPhase));
+        assert!(!allowed.findings.iter().any(|f| f.rule == Rule::DeadPhase));
+        assert_eq!(allowed.findings.len(), stock.findings.len() - 1);
+
+        let denied = lint_with(&circuit, &PassConfig::new().deny(Rule::SuspiciousRatio));
+        assert!(denied.has_errors());
+        // Escalated findings sort to the front.
+        assert_eq!(denied.findings[0].rule, Rule::SuspiciousRatio);
+        assert_eq!(denied.findings[0].severity, Severity::Error);
+
+        let downgraded = lint_with(
+            &circuit,
+            &PassConfig::new().severity(Rule::DuplicateEdge, Severity::Info),
+        );
+        assert!(downgraded
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::DuplicateEdge && f.severity == Severity::Info));
     }
 }

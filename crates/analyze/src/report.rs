@@ -17,6 +17,8 @@
 //! L1 setup, L2R propagation, flip-flop rows), which constraints presolve
 //! removed before the simplex ran.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use smo_circuit::Circuit;
 use smo_core::{
     classify_model, cycle_time_bounds, min_cycle_time_with, Backend, ConstraintKind,
@@ -421,9 +423,14 @@ pub fn analyze(circuit: &Circuit) -> Result<AnalyzeReport, AnalyzeError> {
         .problem()
         .solve_with_presolve(SimplexVariant::Dense, &opts)?;
     let with_presolve = match presolved_sol.status() {
-        smo_lp::Status::Optimal => presolved_sol
-            .objective()
-            .expect("optimal solution has an objective"),
+        smo_lp::Status::Optimal => match presolved_sol.objective() {
+            Some(objective) => objective,
+            None => {
+                return Err(AnalyzeError::Timing(
+                    "presolved solve reported optimal without an objective".into(),
+                ))
+            }
+        },
         smo_lp::Status::Infeasible => {
             return Err(AnalyzeError::Timing(
                 "the clock and latch constraints admit no schedule".into(),
@@ -540,6 +547,7 @@ fn json_escape(s: &str) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use smo_circuit::{CircuitBuilder, PhaseId};

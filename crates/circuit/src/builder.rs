@@ -77,8 +77,18 @@ impl CircuitBuilder {
 
     /// Adds a combinational path with long-path delay `delay` (and a
     /// short-path delay of `0`, the conservative default for hold analysis).
+    /// The short-path delay is recorded as *unspecified*, so analyses that
+    /// trust measured data ([`Edge::short_delay`]) fall back to `delay`.
     pub fn connect(&mut self, from: LatchId, to: LatchId, delay: f64) -> EdgeId {
-        self.connect_min_max(from, to, 0.0, delay)
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge {
+            from,
+            to,
+            max_delay: delay,
+            min_delay: 0.0,
+            min_specified: false,
+        });
+        id
     }
 
     /// Adds a combinational path with explicit short- and long-path delays.
@@ -95,8 +105,24 @@ impl CircuitBuilder {
             to,
             max_delay,
             min_delay,
+            min_specified: true,
         });
         id
+    }
+
+    /// Declares the measured short-path delay for every existing `from → to`
+    /// path (the netlist `mindelay` statement). Returns how many edges were
+    /// updated — `0` means no such path exists yet.
+    pub fn set_min_delay(&mut self, from: LatchId, to: LatchId, min_delay: f64) -> usize {
+        let mut updated = 0;
+        for e in &mut self.edges {
+            if e.from == from && e.to == to {
+                e.min_delay = min_delay;
+                e.min_specified = true;
+                updated += 1;
+            }
+        }
+        updated
     }
 
     /// Number of synchronizers added so far.

@@ -25,6 +25,11 @@ impl EdgeId {
 ///
 /// `min_delay` is the *extension* short-path (contamination) delay used by
 /// the optional hold analysis; it defaults to `0.0` (most conservative).
+/// `min_specified` records whether that short-path delay was actually
+/// measured/declared (`connect_min_max`, a netlist `min=`/`mindelay`) or is
+/// just the conservative default — the race detector substitutes the max
+/// delay for unspecified mins via [`Edge::short_delay`], so circuits without
+/// short-path data are never flagged on the strength of the `0.0` filler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Edge {
     /// Source synchronizer `j` (the signal departs from its output).
@@ -35,6 +40,21 @@ pub struct Edge {
     pub max_delay: f64,
     /// Best-case (short-path) propagation delay; `≤ max_delay`.
     pub min_delay: f64,
+    /// `true` iff `min_delay` carries real short-path data.
+    pub min_specified: bool,
+}
+
+impl Edge {
+    /// The short-path delay the race analysis should trust: the declared
+    /// `min_delay` when one was specified, otherwise the `max_delay` (a path
+    /// whose spread is unknown is assumed raceless rather than instantaneous).
+    pub fn short_delay(&self) -> f64 {
+        if self.min_specified {
+            self.min_delay
+        } else {
+            self.max_delay
+        }
+    }
 }
 
 impl fmt::Display for Edge {

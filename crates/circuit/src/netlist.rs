@@ -10,13 +10,22 @@
 //! ff    F1 phase=1 setup=0.2 dq=0.3 hold=0.1
 //! path  L1 L2 delay=20
 //! path  L2 L1 delay=60 min=5
+//! mindelay L1 L2 3
 //! ```
 //!
 //! * `clock k` — must appear once, before any element;
 //! * `latch NAME phase=P setup=S dq=D [hold=H]` — a level-sensitive latch;
 //! * `ff NAME phase=P setup=S dq=D [hold=H]` — an edge-triggered flip-flop;
 //! * `path FROM TO delay=D [min=M]` — a combinational edge;
+//! * `mindelay FROM TO δ` — declares the measured short-path delay for every
+//!   `FROM → TO` path (equivalent to `min=δ` on those `path` lines; may
+//!   appear anywhere after the `clock` line);
 //! * `#` starts a comment; blank lines are ignored.
+//!
+//! A `path` without `min=` (and no covering `mindelay`) leaves the
+//! short-path delay *unspecified*: hold/race analyses then assume the most
+//! optimistic raceless value (the max delay) instead of `0`, so netlists
+//! written before short-path data existed keep analysing cleanly.
 //!
 //! [`parse`] and [`write`] round-trip: `parse(&write(c)) == c` for every
 //! valid circuit.
@@ -49,6 +58,9 @@ use std::fmt::Write as _;
 pub fn parse(src: &str) -> Result<Circuit, CircuitError> {
     let mut builder: Option<CircuitBuilder> = None;
     let mut ids: HashMap<String, LatchId> = HashMap::new();
+    // `mindelay` statements are order-independent (they may precede the
+    // `path` lines they annotate), so they are resolved after the scan.
+    let mut mindelays: Vec<(usize, String, String, f64)> = Vec::new();
 
     for (lineno0, raw) in src.lines().enumerate() {
         let lineno = lineno0 + 1;
@@ -131,7 +143,7 @@ pub fn parse(src: &str) -> Result<Circuit, CircuitError> {
                 let delay = *kv
                     .get("delay")
                     .ok_or_else(|| err("missing delay=".into()))?;
-                let min = kv.get("min").copied().unwrap_or(0.0);
+                let min = kv.get("min").copied();
                 for key in kv.keys() {
                     if !matches!(key.as_str(), "delay" | "min") {
                         return Err(err(format!("unknown attribute `{key}`")));
@@ -143,22 +155,61 @@ pub fn parse(src: &str) -> Result<Circuit, CircuitError> {
                 let to = *ids
                     .get(to_name)
                     .ok_or_else(|| err(format!("unknown element `{to_name}`")))?;
-                b.connect_min_max(from, to, min, delay);
+                match min {
+                    Some(min) => b.connect_min_max(from, to, min, delay),
+                    None => b.connect(from, to, delay),
+                };
+            }
+            "mindelay" => {
+                if builder.is_none() {
+                    return Err(err("`clock` line must come first".into()));
+                }
+                let from = tokens
+                    .next()
+                    .ok_or_else(|| err("`mindelay` needs a source".into()))?;
+                let to = tokens
+                    .next()
+                    .ok_or_else(|| err("`mindelay` needs a destination".into()))?;
+                let value = tokens
+                    .next()
+                    .ok_or_else(|| err("`mindelay` needs a delay value".into()))?;
+                let value: f64 = value
+                    .parse()
+                    .map_err(|e| err(format!("bad mindelay value `{value}`: {e}")))?;
+                if let Some(extra) = tokens.next() {
+                    return Err(err(format!(
+                        "unexpected token `{extra}` after `mindelay {from} {to} {value}`"
+                    )));
+                }
+                mindelays.push((lineno, from.to_string(), to.to_string(), value));
             }
             other => {
                 return Err(err(format!(
-                    "unknown keyword `{other}` (expected clock/latch/ff/path)"
+                    "unknown keyword `{other}` (expected clock/latch/ff/path/mindelay)"
                 )));
             }
         }
     }
 
-    builder
-        .ok_or(CircuitError::ParseNetlist {
-            line: src.lines().count().max(1),
-            message: "netlist contains no `clock` line".into(),
-        })?
-        .build()
+    let mut builder = builder.ok_or(CircuitError::ParseNetlist {
+        line: src.lines().count().max(1),
+        message: "netlist contains no `clock` line".into(),
+    })?;
+    for (line, from_name, to_name, value) in mindelays {
+        let err = |message: String| CircuitError::ParseNetlist { line, message };
+        let from = *ids
+            .get(&from_name)
+            .ok_or_else(|| err(format!("unknown element `{from_name}`")))?;
+        let to = *ids
+            .get(&to_name)
+            .ok_or_else(|| err(format!("unknown element `{to_name}`")))?;
+        if builder.set_min_delay(from, to, value) == 0 {
+            return Err(err(format!(
+                "`mindelay {from_name} {to_name}` matches no `path {from_name} {to_name}` line"
+            )));
+        }
+    }
+    builder.build()
 }
 
 fn parse_kv<'a>(
@@ -383,7 +434,7 @@ pub fn write(circuit: &Circuit) -> String {
             circuit.sync(e.to).name,
             e.max_delay
         );
-        if e.min_delay != 0.0 {
+        if e.min_specified {
             let _ = write!(out, " min={}", e.min_delay);
         }
         let _ = writeln!(out);
@@ -439,6 +490,72 @@ path L4 L1 delay=80
         assert_eq!(c, c2);
         assert_eq!(c2.sync(c2.find("A").unwrap()).hold, 0.5);
         assert_eq!(c2.edges()[0].min_delay, 1.5);
+    }
+
+    #[test]
+    fn unspecified_min_stays_unspecified_across_round_trip() {
+        let c = parse(EXAMPLE).unwrap();
+        assert!(c.edges().iter().all(|e| !e.min_specified));
+        // short_delay falls back to the max delay, so early == late arrivals.
+        assert_eq!(c.edges()[0].short_delay(), c.edges()[0].max_delay);
+        let c2 = parse(&write(&c)).unwrap();
+        assert!(c2.edges().iter().all(|e| !e.min_specified));
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn mindelay_statement_marks_matching_paths() {
+        let src = "clock 2\nlatch A phase=1 setup=1 dq=2\nlatch B phase=2 setup=1 dq=2\n\
+                   mindelay A B 3\npath A B delay=20\npath A B delay=10\npath B A delay=5\n";
+        let c = parse(src).unwrap();
+        let a = c.find("A").unwrap();
+        let ab: Vec<_> = c.edges().iter().filter(|e| e.from == a).collect();
+        assert_eq!(ab.len(), 2);
+        for e in ab {
+            assert!(e.min_specified);
+            assert_eq!(e.min_delay, 3.0);
+            assert_eq!(e.short_delay(), 3.0);
+        }
+        let ba = c.edges().iter().find(|e| e.to == a).unwrap();
+        assert!(!ba.min_specified);
+        // min= survives a write→parse round trip as an explicit min.
+        let c2 = parse(&write(&c)).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn mindelay_without_matching_path_rejected() {
+        let src = "clock 1\nlatch A phase=1 setup=1 dq=2\nlatch B phase=1 setup=1 dq=2\n\
+                   mindelay A B 3\n";
+        match parse(src).unwrap_err() {
+            CircuitError::ParseNetlist { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("no `path A B`"), "message: {message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mindelay_above_max_rejected_by_validation() {
+        let src = "clock 1\nlatch A phase=1 setup=1 dq=2\nlatch B phase=1 setup=1 dq=2\n\
+                   path A B delay=4\nmindelay A B 9\n";
+        assert!(matches!(
+            parse(src).unwrap_err(),
+            CircuitError::InvalidEdgeDelay { .. }
+        ));
+    }
+
+    #[test]
+    fn mindelay_rejects_trailing_tokens() {
+        let src = "clock 1\nlatch A phase=1 setup=1 dq=2\npath A A delay=4\nmindelay A A 1 junk\n";
+        match parse(src).unwrap_err() {
+            CircuitError::ParseNetlist { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("junk"), "message: {message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -272,6 +272,70 @@ pub(crate) fn attempt(
     }
 }
 
+/// Reconstructs the canonical graph schedule at a *fixed* cycle time:
+/// Bellman–Ford potentials of the difference system at `λ = tc`, mapped
+/// back through [`reconstruct_point`]. The potentials are origin-normalized
+/// shortest-path distances, so the result is a deterministic function of
+/// `(circuit, tc)` alone — the race analysis relies on this to make hold
+/// slacks backend-independent (graph and LP solves of the same circuit
+/// agree on `T_c*` to within [`Tol::TIGHT`], hence on this schedule).
+///
+/// Returns `Ok(None)` when the model has rows outside the difference
+/// fragment (the caller must fall back to a canonicalized LP solve at a
+/// pinned cycle time).
+///
+/// # Errors
+///
+/// [`TimingError::Infeasible`] when no schedule exists at `tc` (with the
+/// machine-checked negative-cycle certificate named in paper vocabulary).
+pub(crate) fn schedule_at(
+    circuit: &Circuit,
+    model: &TimingModel,
+    tc: f64,
+) -> Result<Option<ClockSchedule>, TimingError> {
+    let p = model.problem();
+    let images = variable_images(circuit, model);
+    let cls = classify(p, &images)?;
+    if !cls.is_pure() {
+        return Ok(None);
+    }
+    let sys = DifferenceSystem::build(p, &images, &cls)?;
+    let (lo, hi) = sys.param_range();
+    if tc < lo - Tol::FEAS.abs_for(lo) || tc > hi + Tol::FEAS.abs_for(hi) {
+        return Err(TimingError::Infeasible {
+            reason: format!(
+                "cycle time {tc} is outside the model's declared parameter range [{lo}, {hi}]"
+            ),
+        });
+    }
+    match sys.feasible_at(tc) {
+        FixedParamOutcome::Feasible { potentials } => {
+            let x = reconstruct_point(circuit, model, tc, &potentials);
+            let vars = model.vars();
+            let k = vars.num_phases();
+            let starts: Vec<f64> = (0..k)
+                .map(|p| x[vars.start(PhaseId::new(p)).index()])
+                .collect();
+            let widths: Vec<f64> = (0..k)
+                .map(|p| x[vars.width(PhaseId::new(p)).index()])
+                .collect();
+            Ok(Some(
+                ClockSchedule::new(tc, starts, widths).map_err(TimingError::Circuit)?,
+            ))
+        }
+        FixedParamOutcome::NegativeCycle(cycle) => Err(TimingError::Infeasible {
+            reason: format!(
+                "no feasible schedule at cycle time {tc}: negative constraint cycle \
+                 over {} row(s) (minimum feasible cycle time {})",
+                cycle.rows().len(),
+                cycle
+                    .min_feasible_lambda()
+                    .map_or_else(|| "unbounded".to_string(), |l| format!("{l:.6}")),
+            ),
+        }),
+    }
+}
+
 /// Maps graph node potentials back to an LP-variable point, with the same
 /// clamping discipline as
 /// [`TimingModel::extract_schedule`](crate::TimingModel::extract_schedule):

@@ -40,6 +40,12 @@
 //!   warm-start the simplex from the graph schedule, and infeasibility
 //!   surfaces as a machine-checked negative-cycle Farkas certificate named
 //!   in paper vocabulary.
+//! * **Short-path race detection** ([`race_analysis`]) — the dual hazard
+//!   the long-path constraints cannot see: per-edge/per-latch hold slacks
+//!   at the canonical schedule for the solved cycle time
+//!   (backend-independent by construction), double-clocking races with an
+//!   arithmetically re-checkable [`ShortPathWitness`], and the
+//!   clock-separation increase that would retire each one.
 //!
 //! ## Quickstart
 //!
@@ -86,6 +92,7 @@ mod fastpath;
 mod mlp;
 mod model;
 mod propagation;
+mod race;
 mod report;
 mod sensitivity;
 mod solution;
@@ -109,6 +116,7 @@ pub use model::{
     NonoverlapScope, TimingModel, VarMap,
 };
 pub use propagation::{Arc, FixpointResult, PropagationSystem, FIXPOINT_TOL};
+pub use race::{race_analysis, race_analysis_at, RaceOptions, RaceReport, ShortPathWitness};
 pub use report::{render_report, timing_report};
 pub use sensitivity::{cycle_time_curve, delay_sensitivities};
 pub use solution::TimingSolution;

@@ -89,6 +89,29 @@ impl PropagationSystem {
     ///
     /// Panics if the schedule's phase count differs from the circuit's.
     pub fn new(circuit: &Circuit, schedule: &ClockSchedule) -> Self {
+        Self::build(circuit, schedule, |e| e.min_delay)
+    }
+
+    /// Like [`PropagationSystem::new`] but the early-mode arc weights use
+    /// the *effective* short-path delays of
+    /// [`Edge::short_delay`](smo_circuit::Edge::short_delay): edges whose
+    /// contamination delay was never measured fall back to their max delay
+    /// instead of the conservative `0`. This is the weight choice of the
+    /// race detector ([`race_analysis`](crate::race_analysis)), where an
+    /// unspecified short path must not manufacture a violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule's phase count differs from the circuit's.
+    pub fn with_short_delays(circuit: &Circuit, schedule: &ClockSchedule) -> Self {
+        Self::build(circuit, schedule, |e| e.short_delay())
+    }
+
+    fn build(
+        circuit: &Circuit,
+        schedule: &ClockSchedule,
+        early_delay: impl Fn(&smo_circuit::Edge) -> f64,
+    ) -> Self {
         assert_eq!(
             circuit.num_phases(),
             schedule.num_phases(),
@@ -104,7 +127,7 @@ impl PropagationSystem {
             incoming[e.to.index()].push(Arc {
                 source: e.from.index(),
                 weight: src.dq + e.max_delay + shift,
-                weight_early: src.dq + e.min_delay + shift,
+                weight_early: src.dq + early_delay(e) + shift,
             });
             outgoing[e.from.index()].push(e.to.index());
         }

@@ -13,6 +13,7 @@
 //! smo dot      <netlist>            Graphviz export
 //! smo lp       <netlist>            CPLEX LP-format dump of problem P2
 //! smo lint     <netlist>            structural sanity checks
+//! smo check    <netlist>            lint + solve + short-path race analysis
 //! smo analyze  <netlist>            cycle-time bracket + presolve report
 //! smo diagnose <netlist> [--cycle-time T]   why is there no schedule at T?
 //! smo sweep    <netlist> [--param tc|delay]  warm-started parameter sweep
@@ -21,7 +22,7 @@
 //! Netlists use the `smo_circuit::netlist` text format; files containing
 //! `gate`/`wire` lines are parsed gate-level and extracted automatically.
 
-use smo::analyze::{analyze, diagnose, lint, AnalyzeError};
+use smo::analyze::{analyze, check, diagnose, lint, AnalyzeError, CheckOptions, PassConfig, Rule};
 use smo::circuit::EdgeId;
 use smo::circuit::{lump_equivalent_latches, netlist, to_dot, Circuit, ClockSchedule};
 use smo::sim::{monte_carlo, simulate, MonteCarloOptions, SimOptions};
@@ -73,6 +74,22 @@ const USAGE: &str = "usage:
   smo lump     <netlist>                         bus-lumped netlist (stdout)
   smo lint     <netlist> [--json]                structural sanity checks
                                                  (exit 1 on error findings)
+  smo check    <netlist> [--cycle-time T] [--backend auto|graph|lp] [--json]
+               [--allow RULE] [--deny RULE]
+                                                 one-shot static gate: every
+                                                 lint pass + the cycle-time
+                                                 solve + short-path race
+                                                 analysis; each double-clocking
+                                                 race carries a witness naming
+                                                 the short path and the
+                                                 clock-separation fix (error
+                                                 if the short path is a
+                                                 measured `mindelay`, warn
+                                                 under the max-delay
+                                                 assumption). --allow
+                                                 suppresses a rule, --deny
+                                                 escalates it to error; exit 2
+                                                 on any error-severity finding
   smo analyze  <netlist> [--json]                combinatorial cycle-time
                                                  bracket, LP optimum and
                                                  presolve breakdown; exit 2
@@ -343,6 +360,64 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 ExitCode::SUCCESS
             })
         }
+        "check" => {
+            let mut path = None;
+            let mut options = CheckOptions::default();
+            let mut config = PassConfig::new();
+            let mut json = false;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--cycle-time" => {
+                        let t: f64 = it
+                            .next()
+                            .ok_or("--cycle-time needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad cycle time: {e}"))?;
+                        if !t.is_finite() || t <= 0.0 {
+                            return Err(format!("cycle time must be finite and positive, got {t}"));
+                        }
+                        options.cycle_time = Some(t);
+                    }
+                    "--backend" => {
+                        options.backend = it
+                            .next()
+                            .ok_or("--backend needs a value (auto, graph or lp)")?
+                            .parse()?;
+                    }
+                    "--allow" => config = config.allow(parse_rule(&mut it, "--allow")?),
+                    "--deny" => config = config.deny(parse_rule(&mut it, "--deny")?),
+                    "--json" => json = true,
+                    other if path.is_none() && !other.starts_with('-') => {
+                        path = Some(other.to_string());
+                    }
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            options.config = config;
+            let circuit = load(&path.ok_or("missing netlist path")?)?;
+            match check(&circuit, &options) {
+                Ok(report) => {
+                    if json {
+                        println!("{}", report.to_json());
+                    } else {
+                        println!("{report}");
+                    }
+                    Ok(if report.has_errors() {
+                        ExitCode::from(2)
+                    } else {
+                        ExitCode::SUCCESS
+                    })
+                }
+                // A solve failure means the race analysis never ran, not
+                // that the circuit is clean: report it without the usage
+                // banner (the arguments were fine).
+                Err(e) => {
+                    eprintln!("check error: {e}");
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
         "analyze" => {
             let (path, json) = path_and_json(rest)?;
             let circuit = load(&path)?;
@@ -558,6 +633,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+/// Parses the rule name following `--allow` / `--deny`.
+fn parse_rule(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<Rule, String> {
+    let name = it
+        .next()
+        .ok_or_else(|| format!("{flag} needs a rule name"))?;
+    Rule::from_name(name).ok_or_else(|| {
+        let known: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+        format!(
+            "unknown rule `{name}` for {flag}; known rules: {}",
+            known.join(", ")
+        )
+    })
 }
 
 /// Parses the value following a flag, e.g. `--runs 32`.

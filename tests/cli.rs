@@ -452,3 +452,118 @@ fn solve_honors_a_generous_time_limit_and_rejects_bad_ones() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected argument"));
 }
+
+#[test]
+fn check_passes_every_shipped_netlist_and_gates_the_racy_demo() {
+    for f in [
+        "circuits/example1.ckt",
+        "circuits/example2.ckt",
+        "circuits/gaas_mips.ckt",
+        "circuits/appendix_fig1.ckt",
+        "circuits/alu_bypass.ckt",
+    ] {
+        let out = smo(&["check", f]);
+        assert!(
+            out.status.success(),
+            "{f}: {}{}",
+            stdout(&out),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(stdout(&out).contains("cycle time Tc ="), "{f}");
+    }
+
+    // The deliberately racy demo must fail the gate with exit code 2 and
+    // a measured short-path witness.
+    let out = smo(&["check", "circuits/race_demo.ckt"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("error: [double-clocking-race]"), "{text}");
+    assert!(text.contains("short path"), "{text}");
+    assert!(text.contains("retires the race"), "{text}");
+}
+
+#[test]
+fn check_json_emits_the_findings_schema() {
+    let out = smo(&["check", "circuits/race_demo.ckt", "--json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = stdout(&out);
+    assert!(text.contains("\"clean\": false"), "{text}");
+    assert!(text.contains("\"races\": 1"), "{text}");
+    assert!(
+        text.contains("\"rule\": \"double-clocking-race\""),
+        "{text}"
+    );
+    assert!(text.contains("\"severity\": \"error\""), "{text}");
+
+    let out = smo(&["check", "circuits/example1.ckt", "--json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("\"clean\": true"), "{text}");
+    assert!(text.contains("\"races\": 0"), "{text}");
+}
+
+#[test]
+fn check_allow_and_deny_adjust_the_gate() {
+    // Allowing the race rule waives the demo's failure.
+    let out = smo(&[
+        "check",
+        "circuits/race_demo.ckt",
+        "--allow",
+        "double-clocking-race",
+        "--allow",
+        "hold-margin",
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+
+    // gaas_mips carries an unmeasured (warn-level) race; denying the rule
+    // escalates it to a gate failure.
+    let out = smo(&["check", "circuits/gaas_mips.ckt"]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let out = smo(&[
+        "check",
+        "circuits/gaas_mips.ckt",
+        "--deny",
+        "double-clocking-race",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stdout(&out));
+}
+
+#[test]
+fn check_pinned_cycle_time_and_backends() {
+    let out = smo(&["check", "circuits/example1.ckt", "--cycle-time", "150"]);
+    assert!(out.status.success());
+    assert!(
+        stdout(&out).contains("cycle time Tc = 150"),
+        "{}",
+        stdout(&out)
+    );
+
+    for backend in ["graph", "lp", "auto"] {
+        let out = smo(&["check", "circuits/example1.ckt", "--backend", backend]);
+        assert!(out.status.success(), "--backend {backend}");
+    }
+
+    // An infeasible pinned cycle time is a check *error* (exit 1), not a
+    // clean pass and not the findings exit code 2.
+    let out = smo(&["check", "circuits/example1.ckt", "--cycle-time", "50"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("check error:"));
+}
+
+#[test]
+fn check_rejects_bad_arguments() {
+    let out = smo(&["check"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing netlist path"));
+
+    let out = smo(&["check", "circuits/example1.ckt", "--allow", "bogus-rule"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown rule"));
+
+    let out = smo(&["check", "circuits/example1.ckt", "--cycle-time", "nope"]);
+    assert!(!out.status.success());
+
+    let out = smo(&["check", "circuits/example1.ckt", "--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected argument"));
+}
