@@ -106,6 +106,57 @@ for f in crates/analyze/src/*.rs; do
     || { echo "missing unwrap/expect deny attribute: $f" >&2; exit 1; }
 done
 
+echo "==> smo serve daemon gate (mixed batch over circuits/*.ckt, hostile inputs)"
+# Start the daemon on an ephemeral port, drive every shipped netlist
+# through solve/check plus a malformed netlist and an expired deadline,
+# and require: structured answers for everything (zero crashes), the
+# race demo's finding visible through the wire, and a clean drain.
+serve_log=$(mktemp)
+./target/release/smo serve --addr 127.0.0.1:0 > "$serve_log" &
+serve_pid=$!
+for _ in $(seq 1 50); do
+  grep -q 'listening on ' "$serve_log" && break
+  sleep 0.1
+done
+serve_addr=$(sed -n 's/^listening on //p' "$serve_log" | head -n 1)
+if [ -z "$serve_addr" ]; then
+  echo "smo serve did not come up" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+for ckt in circuits/*.ckt; do
+  # Every netlist must solve and check over the wire (status ok ⇒ exit 0);
+  # solving twice proves the result cache answers byte-compatibly.
+  ./target/release/smo call "$serve_addr" solve "$ckt" > /dev/null
+  ./target/release/smo call "$serve_addr" solve "$ckt" | grep '"cached":true' > /dev/null
+  check_line=$(./target/release/smo call "$serve_addr" check "$ckt")
+  if [ "$ckt" = "circuits/race_demo.ckt" ]; then
+    printf '%s\n' "$check_line" | grep 'double-clocking-race' > /dev/null
+  fi
+done
+# Hostile inputs must come back as structured errors, not crashes.
+bad_ckt=$(mktemp --suffix=.ckt)
+printf 'this is not a netlist\n!!!\n' > "$bad_ckt"
+set +e
+bad_line=$(./target/release/smo call "$serve_addr" solve "$bad_ckt")
+bad_rc=$?
+expired_line=$(./target/release/smo call "$serve_addr" solve circuits/gaas_mips.ckt --deadline-ms 0)
+expired_rc=$?
+set -e
+rm -f "$bad_ckt"
+[ "$bad_rc" -ne 0 ] && printf '%s\n' "$bad_line" | grep '"kind":"parse"' > /dev/null
+[ "$expired_rc" -ne 0 ] && printf '%s\n' "$expired_line" | grep '"kind":"budget"' > /dev/null
+# The daemon must still be healthy after the hostile batch (no panics)…
+./target/release/smo call "$serve_addr" stats | grep '"panics":0' > /dev/null
+# …and must drain cleanly on shutdown.
+./target/release/smo call "$serve_addr" shutdown | grep '"draining":true' > /dev/null
+wait "$serve_pid"
+grep -q 'drained, exiting' "$serve_log"
+rm -f "$serve_log"
+
+echo "==> bench_serve (regenerates BENCH_serve.json, enforces shed>0 under overload)"
+./target/release/smo bench-serve --out BENCH_serve.json > /dev/null
+
 echo "==> bench_sweep (regenerates BENCH_sweep.json, enforces warm >= 2x cold)"
 cargo run -q --release -p smo-bench --bin bench_sweep
 

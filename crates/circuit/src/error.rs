@@ -79,6 +79,18 @@ pub enum CircuitError {
         /// Explanation.
         message: String,
     },
+    /// A netlist exceeded an input limit (see
+    /// [`ParseLimits`](crate::netlist::ParseLimits)). Untrusted inputs —
+    /// daemon requests, fuzzed bytes — degrade into this structured error
+    /// instead of unbounded memory or time.
+    InputLimit {
+        /// Which limit was exceeded (`"input bytes"`, `"lines"`, …).
+        what: &'static str,
+        /// The configured cap.
+        limit: usize,
+        /// The observed value.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -128,6 +140,13 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::ParseNetlist { line, message } => {
                 write!(f, "netlist parse error at line {line}: {message}")
+            }
+            CircuitError::InputLimit {
+                what,
+                limit,
+                actual,
+            } => {
+                write!(f, "netlist exceeds the {what} limit: {actual} > {limit}")
             }
         }
     }

@@ -39,13 +39,120 @@ use crate::sync::{SyncKind, Synchronizer};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-/// Parses a netlist into a validated [`Circuit`].
+/// Input-size limits enforced before a netlist is parsed.
+///
+/// Netlist text reaching [`parse`] is untrusted by definition once the
+/// daemon (`smo serve`) exists, so both parsers pre-scan their input
+/// against these caps and reject oversized or pathologically shaped text
+/// with a structured [`CircuitError::InputLimit`] — bounded memory and
+/// time on arbitrary bytes, never a panic or an allocation storm.
+///
+/// The `Default` caps are generous for real designs (a 4 MiB netlist is
+/// tens of thousands of latches) and tight enough that a hostile client
+/// cannot make the parser itself the attack surface. Trusted bulk callers
+/// can raise individual fields or use [`ParseLimits::UNLIMITED`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Total input size in bytes.
+    pub max_bytes: usize,
+    /// Number of lines (blank and comment lines count — they must still be
+    /// scanned).
+    pub max_lines: usize,
+    /// Length of any single line in bytes.
+    pub max_line_bytes: usize,
+    /// Whitespace-separated tokens on any single line.
+    pub max_tokens_per_line: usize,
+    /// Total element lines (`latch`/`ff`/`path`/`mindelay`/`gate`/`wire`).
+    pub max_elements: usize,
+}
+
+impl ParseLimits {
+    /// No limits — the pre-scan is skipped entirely.
+    pub const UNLIMITED: ParseLimits = ParseLimits {
+        max_bytes: usize::MAX,
+        max_lines: usize::MAX,
+        max_line_bytes: usize::MAX,
+        max_tokens_per_line: usize::MAX,
+        max_elements: usize::MAX,
+    };
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_bytes: 4 << 20,
+            max_lines: 200_000,
+            max_line_bytes: 4_096,
+            max_tokens_per_line: 64,
+            max_elements: 100_000,
+        }
+    }
+}
+
+/// Pre-scan shared by both parsers: one pass over the raw text, rejecting
+/// anything outside `limits` before any per-line work allocates.
+fn check_limits(src: &str, limits: &ParseLimits) -> Result<(), CircuitError> {
+    if *limits == ParseLimits::UNLIMITED {
+        return Ok(());
+    }
+    if src.len() > limits.max_bytes {
+        return Err(CircuitError::InputLimit {
+            what: "input bytes",
+            limit: limits.max_bytes,
+            actual: src.len(),
+        });
+    }
+    let mut elements = 0usize;
+    for (lineno0, raw) in src.lines().enumerate() {
+        if lineno0 >= limits.max_lines {
+            return Err(CircuitError::InputLimit {
+                what: "lines",
+                limit: limits.max_lines,
+                actual: lineno0 + 1,
+            });
+        }
+        if raw.len() > limits.max_line_bytes {
+            return Err(CircuitError::InputLimit {
+                what: "line bytes",
+                limit: limits.max_line_bytes,
+                actual: raw.len(),
+            });
+        }
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens = line.split_whitespace().count();
+        if tokens > limits.max_tokens_per_line {
+            return Err(CircuitError::InputLimit {
+                what: "tokens per line",
+                limit: limits.max_tokens_per_line,
+                actual: tokens,
+            });
+        }
+        if !line.starts_with("clock") {
+            elements += 1;
+            if elements > limits.max_elements {
+                return Err(CircuitError::InputLimit {
+                    what: "element lines",
+                    limit: limits.max_elements,
+                    actual: elements,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses a netlist into a validated [`Circuit`], enforcing the `Default`
+/// [`ParseLimits`].
 ///
 /// # Errors
 ///
 /// Returns [`CircuitError::ParseNetlist`] with a one-based line number for
-/// syntax problems, and the usual structural errors from
-/// [`CircuitBuilder::build`] for semantic ones.
+/// syntax problems, [`CircuitError::InputLimit`] for oversized input, and
+/// the usual structural errors from [`CircuitBuilder::build`] for semantic
+/// ones.
 ///
 /// # Examples
 ///
@@ -56,6 +163,16 @@ use std::fmt::Write as _;
 /// # Ok::<(), smo_circuit::CircuitError>(())
 /// ```
 pub fn parse(src: &str) -> Result<Circuit, CircuitError> {
+    parse_with_limits(src, &ParseLimits::default())
+}
+
+/// [`parse`] with explicit [`ParseLimits`].
+///
+/// # Errors
+///
+/// See [`parse`].
+pub fn parse_with_limits(src: &str, limits: &ParseLimits) -> Result<Circuit, CircuitError> {
+    check_limits(src, limits)?;
     let mut builder: Option<CircuitBuilder> = None;
     let mut ids: HashMap<String, LatchId> = HashMap::new();
     // `mindelay` statements are order-independent (they may precede the
@@ -273,6 +390,16 @@ fn parse_kv<'a>(
 /// # Ok::<(), smo_circuit::CircuitError>(())
 /// ```
 pub fn parse_gates(src: &str) -> Result<Circuit, CircuitError> {
+    parse_gates_with_limits(src, &ParseLimits::default())
+}
+
+/// [`parse_gates`] with explicit [`ParseLimits`].
+///
+/// # Errors
+///
+/// See [`parse_gates`].
+pub fn parse_gates_with_limits(src: &str, limits: &ParseLimits) -> Result<Circuit, CircuitError> {
+    check_limits(src, limits)?;
     let mut builder: Option<GateNetlistBuilder> = None;
     let mut ids: HashMap<String, NodeId> = HashMap::new();
 
@@ -677,6 +804,77 @@ wire B A      # feedback wire, zero delay
             parse_gates(src).unwrap_err(),
             CircuitError::CombinationalCycle { .. }
         ));
+    }
+
+    #[test]
+    fn input_limits_reject_oversized_netlists() {
+        // Total bytes.
+        let tight = ParseLimits {
+            max_bytes: 16,
+            ..Default::default()
+        };
+        let err = parse_with_limits(EXAMPLE, &tight).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CircuitError::InputLimit {
+                    what: "input bytes",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        // Line length.
+        let long_line = format!("clock 1\n# {}\n", "x".repeat(8_192));
+        let err = parse(&long_line).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CircuitError::InputLimit {
+                    what: "line bytes",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        // Tokens per line.
+        let wide = format!("clock 1\nlatch A {}\n", "k=1 ".repeat(100));
+        let err = parse(&wide).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CircuitError::InputLimit {
+                    what: "tokens per line",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        // Element count, for both parsers.
+        let few = ParseLimits {
+            max_elements: 2,
+            ..Default::default()
+        };
+        let src = "clock 1\nlatch A phase=1 setup=1 dq=2\nlatch B phase=1 setup=1 dq=2\n\
+                   path A B delay=1\n";
+        for parser in [parse_with_limits, parse_gates_with_limits] {
+            let err = parser(src, &few).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CircuitError::InputLimit {
+                        what: "element lines",
+                        limit: 2,
+                        actual: 3,
+                    }
+                ),
+                "{err:?}"
+            );
+        }
+        // UNLIMITED really is.
+        assert!(parse_with_limits(src, &ParseLimits::UNLIMITED).is_ok());
+        // The defaults admit every shipped-size netlist.
+        assert!(parse(src).is_ok());
     }
 
     #[test]

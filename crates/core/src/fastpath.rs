@@ -36,7 +36,7 @@ use crate::solution::TimingSolution;
 use smo_circuit::{Circuit, ClockSchedule, LatchId, PhaseId};
 use smo_lp::{
     classify, Classification, DifferenceSystem, FixedParamOutcome, GraphInfeasibility,
-    MinParamOutcome, ParamLowerWitness, Problem, Sense, Tol, VarImage,
+    MinParamOutcome, ParamLowerWitness, Problem, Sense, SolveBudget, Tol, VarImage,
 };
 
 /// Which solver backs [`min_cycle_time_with`](crate::min_cycle_time_with).
@@ -130,6 +130,22 @@ pub fn classify_model(
 ///
 /// [`TimingError`] if the model cannot be built for `circuit`.
 pub fn graph_feasible_at(circuit: &Circuit, cycle: f64) -> Result<Option<bool>, TimingError> {
+    graph_feasible_at_within(circuit, cycle, &SolveBudget::UNLIMITED)
+}
+
+/// [`graph_feasible_at`] under a wall-clock / iteration budget: the
+/// Bellman–Ford sweep aborts with [`smo_lp::LpError::Budget`] (wrapped in
+/// [`TimingError::Lp`]) when the budget expires, so daemon-style callers
+/// can bound even the feasibility probe.
+///
+/// # Errors
+///
+/// As [`graph_feasible_at`], plus the budget error above.
+pub fn graph_feasible_at_within(
+    circuit: &Circuit,
+    cycle: f64,
+    budget: &SolveBudget,
+) -> Result<Option<bool>, TimingError> {
     let model = TimingModel::build(circuit)?;
     let images = variable_images(circuit, &model);
     let cls = classify(model.problem(), &images)?;
@@ -142,7 +158,7 @@ pub fn graph_feasible_at(circuit: &Circuit, cycle: f64) -> Result<Option<bool>, 
         return Ok(Some(false));
     }
     Ok(Some(matches!(
-        sys.feasible_at(cycle),
+        sys.feasible_at(cycle, budget)?,
         FixedParamOutcome::Feasible { .. }
     )))
 }
@@ -233,13 +249,14 @@ pub(crate) fn attempt(
     circuit: &Circuit,
     model: &TimingModel,
     update: UpdateMode,
+    budget: &SolveBudget,
 ) -> Result<FastPathOutcome, TimingError> {
     let p = model.problem();
     let images = variable_images(circuit, model);
     let cls = classify(p, &images)?;
     let sys = DifferenceSystem::build(p, &images, &cls)?;
     let pure = cls.is_pure();
-    match sys.minimize_param()? {
+    match sys.minimize_param(budget)? {
         MinParamOutcome::Infeasible(cert) => {
             if cert.check(p) {
                 Err(infeasibility_error(circuit, model, &cert))
@@ -292,6 +309,7 @@ pub(crate) fn schedule_at(
     circuit: &Circuit,
     model: &TimingModel,
     tc: f64,
+    budget: &SolveBudget,
 ) -> Result<Option<ClockSchedule>, TimingError> {
     let p = model.problem();
     let images = variable_images(circuit, model);
@@ -308,7 +326,7 @@ pub(crate) fn schedule_at(
             ),
         });
     }
-    match sys.feasible_at(tc) {
+    match sys.feasible_at(tc, budget)? {
         FixedParamOutcome::Feasible { potentials } => {
             let x = reconstruct_point(circuit, model, tc, &potentials);
             let vars = model.vars();
@@ -633,7 +651,8 @@ mod tests {
         };
         let expr = smo_lp::LinExpr::from(w1) + w2 - tc - tc;
         model.problem_mut().constrain(expr, smo_lp::Sense::Le, 0.0);
-        let outcome = attempt(&c, &model, UpdateMode::GaussSeidel).unwrap();
+        let outcome =
+            attempt(&c, &model, UpdateMode::GaussSeidel, &SolveBudget::UNLIMITED).unwrap();
         let FastPathOutcome::WarmStart(basis) = outcome else {
             panic!("general row must not solve on the graph");
         };

@@ -106,9 +106,12 @@ pub use critical::{critical_report, CriticalEdge, CriticalReport, CriticalSegmen
 pub use diagnose::{diagnose_infeasibility, DiagnosedConstraint, InfeasibilityReport};
 pub use diagram::{render_schedule, render_solution};
 pub use error::TimingError;
-pub use fastpath::{classify_model, graph_feasible_at, variable_images, Backend, GraphCertificate};
+pub use fastpath::{
+    classify_model, graph_feasible_at, graph_feasible_at_within, variable_images, Backend,
+    GraphCertificate,
+};
 pub use mlp::{
-    min_cycle_time, min_cycle_time_with, solve_model, solve_model_canonical,
+    min_cycle_time, min_cycle_time_warm, min_cycle_time_with, solve_model, solve_model_canonical,
     solve_model_canonical_with, solve_model_with, MlpOptions, UpdateMode,
 };
 pub use model::{

@@ -57,10 +57,12 @@ pub struct MlpOptions {
     /// surfaces as a structured error instead of a silently-wrong cycle
     /// time.
     pub certify: bool,
-    /// Wall-clock budget for all LP solving (`None` = unlimited). Only
-    /// honored on the certified path; checked inside the simplex pivot
-    /// loops, so even a pathological model returns
-    /// [`smo_lp::LpError::Budget`] promptly.
+    /// Wall-clock budget for the whole solve (`None` = unlimited). The
+    /// deadline is absolute: it is fixed once at entry and shared by the
+    /// graph fast path (checked per Bellman–Ford pass), the certified
+    /// recovery ladder and the plain simplex loops, so even a pathological
+    /// model returns [`smo_lp::LpError::Budget`] promptly on *every*
+    /// backend and certification mode.
     pub time_limit: Option<std::time::Duration>,
     /// Which solver backs the cycle-time computation (see [`Backend`]).
     /// Defaults to [`Backend::Lp`] so library callers see the exact
@@ -84,15 +86,22 @@ impl Default for MlpOptions {
 }
 
 impl MlpOptions {
-    /// The [`smo_lp::RecoveryPolicy`] these options induce, or `None` when
-    /// certification is off.
-    fn policy(&self) -> Option<smo_lp::RecoveryPolicy> {
-        self.certify.then(|| smo_lp::RecoveryPolicy {
+    /// The budget shared by every solver stage of one solve: built once at
+    /// entry so the deadline is absolute across the graph fast path, the
+    /// cycle-time LP and the canonicalizing re-solve.
+    fn budget(&self) -> smo_lp::SolveBudget {
+        match self.time_limit {
+            Some(limit) => smo_lp::SolveBudget::with_time_limit(limit),
+            None => smo_lp::SolveBudget::UNLIMITED,
+        }
+    }
+
+    /// The [`smo_lp::RecoveryPolicy`] these options induce under `budget`,
+    /// or `None` when certification is off.
+    fn policy(&self, budget: smo_lp::SolveBudget) -> Option<smo_lp::RecoveryPolicy> {
+        self.certify.then_some(smo_lp::RecoveryPolicy {
             variant: self.simplex,
-            budget: match self.time_limit {
-                Some(limit) => smo_lp::SolveBudget::with_time_limit(limit),
-                None => smo_lp::SolveBudget::UNLIMITED,
-            },
+            budget,
         })
     }
 }
@@ -141,13 +150,53 @@ pub fn min_cycle_time_with(
     circuit: &Circuit,
     options: &MlpOptions,
 ) -> Result<TimingSolution, TimingError> {
+    run_mlp(circuit, options, None, None)
+}
+
+/// [`min_cycle_time_with`] for resident callers (the `smo serve` daemon,
+/// sweep-style batches): optionally seeds the first LP from a cached basis
+/// snapshot and hands back the snapshot of this solve's cycle-time LP for
+/// the caller's cache.
+///
+/// The returned basis fits any model sharing this one's
+/// [`matrix_fingerprint`](smo_lp::Problem::matrix_fingerprint) — delay
+/// edits change only right-hand sides, so perturbed copies of the same
+/// topology warm-start from it. `None` when no LP ran (pure models solved
+/// outright by the graph fast path) or the solver produced no snapshot. A
+/// stale or ill-fitting `warm` falls back to a cold solve silently;
+/// verdicts never depend on the warm start.
+///
+/// # Errors
+///
+/// See [`min_cycle_time`].
+pub fn min_cycle_time_warm(
+    circuit: &Circuit,
+    options: &MlpOptions,
+    warm: Option<&smo_lp::Basis>,
+) -> Result<(TimingSolution, Option<smo_lp::Basis>), TimingError> {
+    let mut captured = None;
+    let solution = run_mlp(circuit, options, warm, Some(&mut captured))?;
+    Ok((solution, captured))
+}
+
+/// Shared driver behind [`min_cycle_time_with`] / [`min_cycle_time_warm`]:
+/// one budget for every stage, optional warm seed, optional basis capture.
+fn run_mlp(
+    circuit: &Circuit,
+    options: &MlpOptions,
+    warm_in: Option<&smo_lp::Basis>,
+    captured: Option<&mut Option<smo_lp::Basis>>,
+) -> Result<TimingSolution, TimingError> {
     let model = TimingModel::build_with(circuit, &options.constraints)?;
-    let policy = options.policy();
+    let budget = options.budget();
+    let policy = options.policy(budget);
     // Difference-constraint fast path: exact graph solve on pure models,
-    // crossover warm start on mixed ones (see [`crate::fastpath`]).
-    let mut warm: Option<smo_lp::Basis> = None;
+    // crossover warm start on mixed ones (see [`crate::fastpath`]). A
+    // caller-cached optimal basis beats the crossover guess when both are
+    // on offer.
+    let mut warm: Option<smo_lp::Basis> = warm_in.cloned();
     if options.backend != Backend::Lp {
-        match fastpath::attempt(circuit, &model, options.update) {
+        match fastpath::attempt(circuit, &model, options.update, &budget) {
             Ok(FastPathOutcome::Solved(solution)) => return Ok(*solution),
             Ok(FastPathOutcome::WarmStart(basis)) => {
                 if options.backend == Backend::Graph {
@@ -158,9 +207,16 @@ pub fn min_cycle_time_with(
                             .into(),
                     });
                 }
-                warm = basis;
+                if warm.is_none() {
+                    warm = basis;
+                }
             }
             Err(e @ TimingError::Infeasible { .. }) => return Err(e),
+            Err(e @ TimingError::Lp(smo_lp::LpError::Budget { .. })) => {
+                // The deadline expired inside the fast path; falling
+                // through to the simplex would defeat it.
+                return Err(e);
+            }
             Err(e) => {
                 if options.backend == Backend::Graph {
                     return Err(e);
@@ -178,6 +234,8 @@ pub fn min_cycle_time_with(
             options.simplex,
             policy.as_ref(),
             warm.as_ref(),
+            budget,
+            captured,
         )
     } else {
         model_inner(
@@ -187,6 +245,8 @@ pub fn min_cycle_time_with(
             options.simplex,
             policy.as_ref(),
             warm.as_ref(),
+            budget,
+            captured,
         )
     }
 }
@@ -218,12 +278,24 @@ pub fn solve_model_canonical_with(
     update: UpdateMode,
     variant: smo_lp::SimplexVariant,
 ) -> Result<TimingSolution, TimingError> {
-    canonical_inner(circuit, model, update, variant, None, None)
+    canonical_inner(
+        circuit,
+        model,
+        update,
+        variant,
+        None,
+        None,
+        smo_lp::SolveBudget::UNLIMITED,
+        None,
+    )
 }
 
 /// Canonicalizing pipeline shared by the certified and plain paths. A warm
 /// basis (from the fast path's crossover) only seeds the *first* solve —
 /// the refined model has an extra row, so the snapshot no longer fits it.
+/// For the same reason `captured` snapshots the *first* (cycle-time) solve:
+/// that is the basis a later solve of this model can be seeded with.
+#[allow(clippy::too_many_arguments)]
 fn canonical_inner(
     circuit: &Circuit,
     model: &TimingModel,
@@ -231,20 +303,19 @@ fn canonical_inner(
     variant: smo_lp::SimplexVariant,
     policy: Option<&smo_lp::RecoveryPolicy>,
     warm: Option<&smo_lp::Basis>,
+    budget: smo_lp::SolveBudget,
+    captured: Option<&mut Option<smo_lp::Basis>>,
 ) -> Result<TimingSolution, TimingError> {
     let (first, mut certificates) = match policy {
         Some(pol) => {
             let (sol, cert) = model.solve_lp_certified_from_basis(pol, warm)?;
             (sol, vec![cert])
         }
-        None => (
-            match warm {
-                Some(b) => model.solve_lp_from_basis(variant, b)?,
-                None => model.solve_lp_with(variant)?,
-            },
-            Vec::new(),
-        ),
+        None => (model.solve_lp_budgeted(variant, warm, budget)?, Vec::new()),
     };
+    if let Some(slot) = captured {
+        *slot = first.basis().cloned();
+    }
     let tc_opt = first.objective();
 
     let mut refined = model.clone();
@@ -259,7 +330,9 @@ fn canonical_inner(
         }
         p.minimize(secondary);
     }
-    match model_inner(circuit, &refined, update, variant, policy, None) {
+    match model_inner(
+        circuit, &refined, update, variant, policy, None, budget, None,
+    ) {
         Ok(mut solution) => {
             solution.num_constraints = model.num_constraints();
             solution.lp_iterations += first.iterations();
@@ -277,7 +350,7 @@ fn canonical_inner(
         // infeasibility), so that exhaustion gets the same fallback.
         Err(TimingError::Infeasible { .. })
         | Err(TimingError::Lp(smo_lp::LpError::CertificationFailed { .. })) => {
-            model_inner(circuit, model, update, variant, policy, warm)
+            model_inner(circuit, model, update, variant, policy, warm, budget, None)
         }
         Err(e) => Err(e),
     }
@@ -309,7 +382,16 @@ pub fn solve_model_with(
     update: UpdateMode,
     variant: smo_lp::SimplexVariant,
 ) -> Result<TimingSolution, TimingError> {
-    model_inner(circuit, model, update, variant, None, None)
+    model_inner(
+        circuit,
+        model,
+        update,
+        variant,
+        None,
+        None,
+        smo_lp::SolveBudget::UNLIMITED,
+        None,
+    )
 }
 
 /// Step 2 of Algorithm MLP: slide the departures from `d0` to the
@@ -344,7 +426,9 @@ pub(crate) fn slide_departures(
 }
 
 /// Steps 1–2 of Algorithm MLP, optionally on the certified LP path,
-/// optionally warm-started from a crossover basis.
+/// optionally warm-started from a crossover basis, with the LP's basis
+/// snapshot handed back through `captured` for resident callers' caches.
+#[allow(clippy::too_many_arguments)]
 fn model_inner(
     circuit: &Circuit,
     model: &TimingModel,
@@ -352,6 +436,8 @@ fn model_inner(
     variant: smo_lp::SimplexVariant,
     policy: Option<&smo_lp::RecoveryPolicy>,
     warm: Option<&smo_lp::Basis>,
+    budget: smo_lp::SolveBudget,
+    captured: Option<&mut Option<smo_lp::Basis>>,
 ) -> Result<TimingSolution, TimingError> {
     // Step 1: LP.
     let (lp, certificates) = match policy {
@@ -359,14 +445,11 @@ fn model_inner(
             let (sol, cert) = model.solve_lp_certified_from_basis(pol, warm)?;
             (sol, vec![cert])
         }
-        None => (
-            match warm {
-                Some(b) => model.solve_lp_from_basis(variant, b)?,
-                None => model.solve_lp_with(variant)?,
-            },
-            Vec::new(),
-        ),
+        None => (model.solve_lp_budgeted(variant, warm, budget)?, Vec::new()),
     };
+    if let Some(slot) = captured {
+        *slot = lp.basis().cloned();
+    }
     let schedule = model.extract_schedule(&lp)?;
     let d0 = model.extract_departures(&lp);
 

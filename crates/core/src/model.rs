@@ -757,6 +757,38 @@ impl TimingModel {
         }
     }
 
+    /// The uncertified analogue of
+    /// [`TimingModel::solve_lp_certified_from_basis`]: one plain solve
+    /// (warm-started when a snapshot is supplied) under a wall-clock /
+    /// iteration budget, so `--time-limit` holds even with `--no-certify`.
+    ///
+    /// # Errors
+    ///
+    /// As [`TimingModel::solve_lp`], plus [`smo_lp::LpError::Budget`]
+    /// (wrapped in [`TimingError::Lp`]) when the budget runs out.
+    pub fn solve_lp_budgeted(
+        &self,
+        variant: smo_lp::SimplexVariant,
+        warm: Option<&smo_lp::Basis>,
+        budget: smo_lp::SolveBudget,
+    ) -> Result<OptimalSolution, TimingError> {
+        let sol = match warm {
+            Some(b) => self
+                .problem
+                .solve_from_basis_with_budget(variant, b, budget)?,
+            None => self.problem.solve_with_budget(variant, budget)?,
+        };
+        match sol.status() {
+            smo_lp::Status::Optimal => Ok(sol.into_optimal()?),
+            smo_lp::Status::Infeasible => Err(TimingError::Infeasible {
+                reason: "the clock and latch constraints admit no schedule \
+                         (check fixed/max cycle time and minimum width options)"
+                    .into(),
+            }),
+            smo_lp::Status::Unbounded => Err(TimingError::Unbounded),
+        }
+    }
+
     /// Like [`TimingModel::solve_lp_certified`], with an optional basis
     /// snapshot prepended as the first rung of the recovery ladder. The
     /// certificate is still evaluated against the raw constraint rows, so a

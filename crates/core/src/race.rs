@@ -282,22 +282,25 @@ pub fn race_analysis(circuit: &Circuit, options: &RaceOptions) -> Result<RaceRep
         }
     };
     let model = TimingModel::build_with(circuit, &options.constraints)?;
-    let schedule = match fastpath::schedule_at(circuit, &model, tc)? {
-        Some(schedule) => schedule,
-        None => {
-            // Rows outside the difference fragment: pin the cycle time and
-            // let the canonicalizing LP pick the same deterministic compact
-            // schedule both backends would see.
-            let pinned = ConstraintOptions {
-                fixed_cycle: Some(tc),
-                ..options.constraints.clone()
-            };
-            let pinned_model = TimingModel::build_with(circuit, &pinned)?;
-            solve_model_canonical(circuit, &pinned_model, UpdateMode::default())?
-                .schedule()
-                .clone()
-        }
-    };
+    // Race analysis has no time-limit knob of its own; the graph probe
+    // runs unbudgeted like the rest of the pass.
+    let schedule =
+        match fastpath::schedule_at(circuit, &model, tc, &smo_lp::SolveBudget::UNLIMITED)? {
+            Some(schedule) => schedule,
+            None => {
+                // Rows outside the difference fragment: pin the cycle time and
+                // let the canonicalizing LP pick the same deterministic compact
+                // schedule both backends would see.
+                let pinned = ConstraintOptions {
+                    fixed_cycle: Some(tc),
+                    ..options.constraints.clone()
+                };
+                let pinned_model = TimingModel::build_with(circuit, &pinned)?;
+                solve_model_canonical(circuit, &pinned_model, UpdateMode::default())?
+                    .schedule()
+                    .clone()
+            }
+        };
     Ok(race_analysis_at(circuit, &schedule))
 }
 

@@ -31,6 +31,7 @@
 
 use crate::expr::VarId;
 use crate::problem::{ConstraintId, Problem, Sense};
+use crate::recover::SolveBudget;
 
 /// Absolute tolerance for coefficient recognition and cycle negativity,
 /// matching the solver-wide [`EPS`](crate::EPS) on the `0, ±1` matrices
@@ -639,11 +640,27 @@ impl DifferenceSystem {
     /// Bellman–Ford feasibility at a fixed parameter: either a feasible
     /// potential assignment (the DBM closure relative to the origin) or a
     /// negative-cycle witness.
-    pub fn feasible_at(&self, lambda: f64) -> FixedParamOutcome {
-        match self.bellman_ford(lambda) {
+    ///
+    /// The `budget` is checked once per Bellman–Ford pass (each pass scans
+    /// every arc), so an expired deadline surfaces as
+    /// [`LpError::Budget`](crate::LpError) within one `O(E)` sweep rather
+    /// than after the full `O(V·E)` relaxation — the graph backend honors
+    /// `--time-limit` exactly like the simplex variants do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::Budget`](crate::LpError) when the budget expires
+    /// mid-search; the `iterations` field counts completed passes.
+    pub fn feasible_at(
+        &self,
+        lambda: f64,
+        budget: &SolveBudget,
+    ) -> Result<FixedParamOutcome, crate::LpError> {
+        let mut passes = 0usize;
+        Ok(match self.bellman_ford(lambda, budget, &mut passes)? {
             Ok(potentials) => FixedParamOutcome::Feasible { potentials },
             Err(cycle) => FixedParamOutcome::NegativeCycle(self.summarize(&cycle)),
-        }
+        })
     }
 
     /// Lawler's parametric search for the exact minimal feasible `λ`.
@@ -655,12 +672,18 @@ impl DifferenceSystem {
     /// candidate. A witness with `Σslope ≤ 0` stays negative for every
     /// admissible `λ` — infeasibility, certified through the cycle's rows.
     ///
+    /// The `budget` is threaded into every Bellman–Ford round and checked
+    /// once per pass; the cumulative pass count across rounds plays the
+    /// role simplex pivots play in [`LpError::Budget`](crate::LpError).
+    ///
     /// # Errors
     ///
     /// Returns [`LpError::Numerical`](crate::LpError) if the parameter is
     /// unbounded below (no minimum exists) or the iteration stalls on
-    /// floating-point noise instead of making progress.
-    pub fn minimize_param(&self) -> Result<MinParamOutcome, crate::LpError> {
+    /// floating-point noise instead of making progress, and
+    /// [`LpError::Budget`](crate::LpError) when the budget expires before
+    /// the search terminates.
+    pub fn minimize_param(&self, budget: &SolveBudget) -> Result<MinParamOutcome, crate::LpError> {
         if let Some((c, sign)) = self.constant_conflict {
             return Ok(MinParamOutcome::Infeasible(
                 self.certificate(&[(c, sign)], &[]),
@@ -680,10 +703,11 @@ impl DifferenceSystem {
         let mut lambda = self.lambda_lower;
         let mut witness: Option<ParamLowerWitness> = None;
         let mut stalls = 0usize;
+        let mut passes = 0usize;
         // Lawler terminates after at most one round per distinct simple-
         // cycle ratio; the cap is a generous safety net over that.
         for _ in 0..(1000 + 10 * self.arcs.len()) {
-            let cycle = match self.bellman_ford(lambda) {
+            let cycle = match self.bellman_ford(lambda, budget, &mut passes)? {
                 Ok(potentials) => {
                     return Ok(MinParamOutcome::Optimal {
                         lambda,
@@ -749,12 +773,21 @@ impl DifferenceSystem {
 
     /// Bellman–Ford with super-source semantics (all distances start at
     /// zero, making every node reachable): returns origin-normalized
-    /// potentials, or the arc indices of a negative cycle.
-    fn bellman_ford(&self, lambda: f64) -> Result<Vec<f64>, Vec<usize>> {
+    /// potentials, or the arc indices of a negative cycle. The outer
+    /// `Result` is the budget verdict; `passes` accumulates across calls
+    /// so [`minimize_param`](Self::minimize_param) reports total work.
+    fn bellman_ford(
+        &self,
+        lambda: f64,
+        budget: &SolveBudget,
+        passes: &mut usize,
+    ) -> Result<Result<Vec<f64>, Vec<usize>>, crate::LpError> {
         let n = self.num_nodes + 1; // + origin
         let mut dist = vec![0.0f64; n];
         let mut pred: Vec<Option<usize>> = vec![None; n];
         for pass in 0..n {
+            budget.check(*passes)?;
+            *passes += 1;
             let mut relaxed = None;
             for (idx, a) in self.arcs.iter().enumerate() {
                 let w = a.base + a.slope * lambda;
@@ -768,7 +801,7 @@ impl DifferenceSystem {
             match relaxed {
                 None => {
                     let o = dist[self.num_nodes];
-                    return Ok(dist[..self.num_nodes].iter().map(|d| d - o).collect());
+                    return Ok(Ok(dist[..self.num_nodes].iter().map(|d| d - o).collect()));
                 }
                 Some(node) if pass == n - 1 => {
                     // A relaxation on pass n: walk predecessors n steps to
@@ -791,7 +824,7 @@ impl DifferenceSystem {
                         }
                     }
                     cycle.reverse();
-                    return Err(cycle);
+                    return Ok(Err(cycle));
                 }
                 Some(_) => {}
             }
@@ -799,7 +832,7 @@ impl DifferenceSystem {
         // Unreachable: the loop either converges or detects a cycle on the
         // final pass. Report "no cycle" conservatively.
         let o = dist[self.num_nodes];
-        Ok(dist[..self.num_nodes].iter().map(|d| d - o).collect())
+        Ok(Ok(dist[..self.num_nodes].iter().map(|d| d - o).collect()))
     }
 
     /// Aggregates a cycle's arcs into its row support and affine weight.
@@ -941,7 +974,7 @@ mod tests {
         let (p, images) = ring();
         let cls = classify(&p, &images).unwrap();
         let sys = DifferenceSystem::build(&p, &images, &cls).unwrap();
-        match sys.minimize_param().unwrap() {
+        match sys.minimize_param(&SolveBudget::UNLIMITED).unwrap() {
             MinParamOutcome::Optimal {
                 lambda,
                 potentials,
@@ -969,10 +1002,10 @@ mod tests {
         let cls = classify(&p, &images).unwrap();
         let sys = DifferenceSystem::build(&p, &images, &cls).unwrap();
         assert!(matches!(
-            sys.feasible_at(120.0),
+            sys.feasible_at(120.0, &SolveBudget::UNLIMITED).unwrap(),
             FixedParamOutcome::Feasible { .. }
         ));
-        match sys.feasible_at(90.0) {
+        match sys.feasible_at(90.0, &SolveBudget::UNLIMITED).unwrap() {
             FixedParamOutcome::NegativeCycle(cyc) => {
                 assert!(cyc.weight_at(90.0) < 0.0);
                 assert_eq!(cyc.min_feasible_lambda().map(f64::round), Some(100.0));
@@ -988,7 +1021,7 @@ mod tests {
         p.constrain(tc.into(), Sense::Le, 80.0); // λ ≤ 80 < λ* = 100
         let cls = classify(&p, &images).unwrap();
         let sys = DifferenceSystem::build(&p, &images, &cls).unwrap();
-        match sys.minimize_param().unwrap() {
+        match sys.minimize_param(&SolveBudget::UNLIMITED).unwrap() {
             MinParamOutcome::Infeasible(cert) => {
                 assert!(cert.check(&p), "certificate must verify independently");
                 assert!(cert.rows().iter().any(|(c, _)| c.index() == 2));
@@ -1012,7 +1045,7 @@ mod tests {
         let images = vec![VarImage::Param, VarImage::Node(0), VarImage::Node(1)];
         let cls = classify(&p, &images).unwrap();
         let sys = DifferenceSystem::build(&p, &images, &cls).unwrap();
-        match sys.minimize_param().unwrap() {
+        match sys.minimize_param(&SolveBudget::UNLIMITED).unwrap() {
             MinParamOutcome::Infeasible(cert) => {
                 assert!(cert.check(&p));
                 assert_eq!(cert.rows().len(), 2);
@@ -1038,7 +1071,7 @@ mod tests {
         assert_eq!(cls.num_difference(), 1); // the Eq row, via w's image
         assert_eq!(cls.num_single_var(), 1);
         let sys = DifferenceSystem::build(&p, &images, &cls).unwrap();
-        match sys.feasible_at(0.0) {
+        match sys.feasible_at(0.0, &SolveBudget::UNLIMITED).unwrap() {
             FixedParamOutcome::Feasible { potentials } => {
                 let wv = potentials[1] - potentials[0];
                 assert!((wv - 5.0).abs() < 1e-6, "w = {wv}");
@@ -1061,7 +1094,7 @@ mod tests {
         let cls = classify(&p, &images).unwrap();
         assert_eq!(cls.num_param_bound(), 2);
         let sys = DifferenceSystem::build(&p, &images, &cls).unwrap();
-        match sys.minimize_param().unwrap() {
+        match sys.minimize_param(&SolveBudget::UNLIMITED).unwrap() {
             MinParamOutcome::Infeasible(cert) => assert!(cert.check(&p)),
             other => panic!("unexpected outcome {other:?}"),
         }

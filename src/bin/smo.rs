@@ -19,16 +19,25 @@
 //! smo sweep    <netlist> [--param tc|delay]  warm-started parameter sweep
 //! ```
 //!
+//! Long-lived use goes through the daemon (same code path, same JSON):
+//!
+//! ```text
+//! smo serve    [--addr A] [--workers N] [--queue N]   timing daemon
+//! smo call     <addr> <cmd> [netlist] [flags]         one request to a daemon
+//! smo bench-serve [--quick]                           daemon load test
+//! ```
+//!
 //! Netlists use the `smo_circuit::netlist` text format; files containing
 //! `gate`/`wire` lines are parsed gate-level and extracted automatically.
 
 use smo::analyze::{analyze, check, diagnose, lint, AnalyzeError, CheckOptions, PassConfig, Rule};
+use smo::api::{solve_json, sweep_json, ParseLimits};
 use smo::circuit::EdgeId;
 use smo::circuit::{lump_equivalent_latches, netlist, to_dot, Circuit, ClockSchedule};
 use smo::sim::{monte_carlo, simulate, MonteCarloOptions, SimOptions};
 use smo::timing::{
     graph_feasible_at, min_cycle_time, min_cycle_time_with, render_solution, sweep_cycle_time,
-    timing_report, verify, Backend, MlpOptions, SweepOptions, SweepParam, SweepReport, TimingModel,
+    timing_report, verify, Backend, MlpOptions, SweepOptions, SweepParam, TimingModel,
 };
 use std::process::ExitCode;
 
@@ -108,7 +117,29 @@ const USAGE: &str = "usage:
                                                  (exact breakpoints included),
                                                  `delay` jitters every delay
                                                  by ±spread; output is
-                                                 identical for any --jobs";
+                                                 identical for any --jobs
+  smo serve    [--addr A] [--workers N] [--queue N]
+                                                 long-lived timing daemon:
+                                                 line-delimited JSON over TCP
+                                                 with per-request deadlines,
+                                                 bounded queueing + load
+                                                 shedding, result caches and
+                                                 graceful degradation under
+                                                 load (see DESIGN.md)
+  smo call     <addr> <cmd> [netlist] [--id I] [--deadline-ms N]
+               [--backend auto|graph|lp] [--no-certify] [--cycle-time T]
+               [--phase s,w ...] [--param tc|delay] [--runs N] [--edge E]
+               [--spread S] [--seed S]
+                                                 send one request to a daemon
+                                                 (cmd: ping, stats, shutdown,
+                                                 solve, verify, check,
+                                                 diagnose, sweep) and print
+                                                 the response line; exit 1 on
+                                                 an error response
+  smo bench-serve [--quick] [--out FILE]         daemon load generator: three
+                                                 scenarios incl. forced
+                                                 overload; writes
+                                                 BENCH_serve.json";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
@@ -631,8 +662,155 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        "serve" => {
+            let mut config = smo::api::ServerConfig::default();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--addr" => {
+                        config.addr = it.next().ok_or("--addr needs host:port")?.to_string();
+                    }
+                    "--workers" => {
+                        config.max_active = parse_arg(&mut it, "--workers")?;
+                        if config.max_active == 0 {
+                            return Err("--workers must be at least 1".into());
+                        }
+                    }
+                    "--queue" => config.max_queue = parse_arg(&mut it, "--queue")?,
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            let server = smo::api::serve(config).map_err(|e| format!("serve: {e}"))?;
+            // The first line of output is machine-readable so scripts can
+            // scrape the bound port (`--addr 127.0.0.1:0` picks one).
+            println!("listening on {}", server.addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            server.wait();
+            println!("drained, exiting");
+            Ok(ExitCode::SUCCESS)
+        }
+        "call" => {
+            let mut it = rest.iter();
+            let addr = it.next().ok_or("missing daemon address (host:port)")?;
+            let cmd = it.next().ok_or(
+                "missing command (ping, stats, shutdown, solve, verify, check, diagnose, sweep)",
+            )?;
+            let mut fields: Vec<(String, String)> = vec![("cmd".into(), json_str(cmd))];
+            let mut netlist_path = None;
+            let mut phases: Vec<String> = Vec::new();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--id" => fields.push((
+                        "id".into(),
+                        json_str(it.next().ok_or("--id needs a value")?),
+                    )),
+                    "--deadline-ms" => {
+                        let ms: u64 = parse_arg(&mut it, "--deadline-ms")?;
+                        fields.push(("deadline_ms".into(), ms.to_string()));
+                    }
+                    "--backend" => fields.push((
+                        "backend".into(),
+                        json_str(it.next().ok_or("--backend needs a value")?),
+                    )),
+                    "--no-certify" => fields.push(("certify".into(), "false".into())),
+                    "--certify" => fields.push(("certify".into(), "true".into())),
+                    "--cycle-time" => {
+                        let t: f64 = parse_arg(&mut it, "--cycle-time")?;
+                        fields.push(("cycle_time".into(), format!("{t}")));
+                    }
+                    "--phase" => {
+                        let pair = it.next().ok_or("--phase needs start,width")?;
+                        let (s, w) = pair
+                            .split_once(',')
+                            .ok_or_else(|| format!("expected start,width but got `{pair}`"))?;
+                        let s: f64 = s.parse().map_err(|e| format!("bad start: {e}"))?;
+                        let w: f64 = w.parse().map_err(|e| format!("bad width: {e}"))?;
+                        phases.push(format!("[{s},{w}]"));
+                    }
+                    "--param" => fields.push((
+                        "param".into(),
+                        json_str(it.next().ok_or("--param needs tc or delay")?),
+                    )),
+                    "--runs" => {
+                        let n: usize = parse_arg(&mut it, "--runs")?;
+                        fields.push(("runs".into(), n.to_string()));
+                    }
+                    "--edge" => {
+                        let n: usize = parse_arg(&mut it, "--edge")?;
+                        fields.push(("edge".into(), n.to_string()));
+                    }
+                    "--spread" => {
+                        let s: f64 = parse_arg(&mut it, "--spread")?;
+                        fields.push(("spread".into(), format!("{s}")));
+                    }
+                    "--seed" => {
+                        let s: u64 = parse_arg(&mut it, "--seed")?;
+                        fields.push(("seed".into(), s.to_string()));
+                    }
+                    other if netlist_path.is_none() && !other.starts_with('-') => {
+                        netlist_path = Some(other.to_string());
+                    }
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            if let Some(path) = &netlist_path {
+                // The netlist travels inline: the daemon never reads the
+                // caller's filesystem, and escaping happens here in code
+                // rather than in fragile shell quoting.
+                let src = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                fields.push(("netlist".into(), json_str(&src)));
+            }
+            if !phases.is_empty() {
+                fields.push(("phases".into(), format!("[{}]", phases.join(","))));
+            }
+            let request = format!(
+                "{{{}}}",
+                fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\":{v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            let mut client =
+                smo::api::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            let response = client.call(&request).map_err(|e| format!("call: {e}"))?;
+            println!("{response}");
+            Ok(if response.contains("\"status\":\"ok\"") {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        "bench-serve" => {
+            let mut quick = false;
+            let mut out_path = "BENCH_serve.json".to_string();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    "--out" => {
+                        out_path = it.next().ok_or("--out needs a path")?.to_string();
+                    }
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            let json =
+                smo::api::bench::run_bench(quick).map_err(|e| format!("bench-serve: {e}"))?;
+            std::fs::write(&out_path, &json)
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            print!("{json}");
+            eprintln!("wrote {out_path}");
+            Ok(ExitCode::SUCCESS)
+        }
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+/// JSON string literal for `smo call` request assembly.
+fn json_str(s: &str) -> String {
+    smo::api::json::escape(s)
 }
 
 /// Parses the rule name following `--allow` / `--deny`.
@@ -663,109 +841,6 @@ where
         .map_err(|e| format!("bad {flag} value: {e}"))
 }
 
-/// Renders a `smo sweep` report as JSON. Deliberately excludes anything
-/// wall-clock-dependent so the bytes are identical for any `--jobs` value.
-fn sweep_json(report: &SweepReport, options: &SweepOptions) -> String {
-    let mut out = String::from("{\n");
-    match &options.param {
-        SweepParam::Tc { edge, max_delay } => {
-            out.push_str(&format!(
-                "  \"param\": \"tc\",\n  \"edge\": {},\n  \"max_delay\": {:.6},\n",
-                edge.index(),
-                max_delay
-            ));
-        }
-        SweepParam::Delay { spread } => {
-            out.push_str(&format!(
-                "  \"param\": \"delay\",\n  \"spread\": {spread:.6},\n  \"seed\": {},\n",
-                options.seed
-            ));
-        }
-    }
-    out.push_str(&format!(
-        "  \"certified\": {},\n  \"base_cycle_time\": {:.6},\n  \"base_iterations\": {},\n",
-        options.certify, report.base_cycle_time, report.base_iterations
-    ));
-    out.push_str(&format!(
-        "  \"min_cycle_time\": {:.6},\n  \"max_cycle_time\": {:.6},\n  \"mean_cycle_time\": {:.6},\n  \"warm_iterations\": {},\n",
-        report.min_cycle_time, report.max_cycle_time, report.mean_cycle_time, report.warm_iterations
-    ));
-    out.push_str("  \"breakpoints\": [");
-    for (i, b) in report.breakpoints.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        out.push_str(&format!("{b:.6}"));
-    }
-    out.push_str("],\n  \"runs\": [");
-    for (i, run) in report.runs.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "\n    {{\"index\": {}, \"value\": {:.6}, \"cycle_time\": {:.6}, \"iterations\": {}}}",
-            run.index, run.value, run.cycle_time, run.iterations
-        ));
-    }
-    out.push_str("\n  ]\n}");
-    out
-}
-
-/// Renders a `smo solve` result as a JSON object (hand-rolled, matching
-/// the other subcommands' `to_json` style).
-fn solve_json(sol: &smo::timing::TimingSolution) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"cycle_time\": {:.6},\n", sol.cycle_time()));
-    out.push_str(&format!("  \"certified\": {},\n", sol.certified()));
-    out.push_str(&format!(
-        "  \"backend\": \"{}\",\n",
-        if sol.graph_certificate().is_some() {
-            "graph"
-        } else {
-            "lp"
-        }
-    ));
-    if let Some(gc) = sol.graph_certificate() {
-        out.push_str(&format!(
-            "  \"graph_certificate\": {{\"valid\": {}, \"implied_lower\": {:.6}, \
-             \"witness_rows\": {}, \"max_violation\": {:e}}},\n",
-            gc.is_valid(),
-            gc.implied_lower(),
-            gc.witness_rows(),
-            gc.max_violation()
-        ));
-    }
-    out.push_str(&format!(
-        "  \"lp_iterations\": {},\n  \"update_iterations\": {},\n  \"num_constraints\": {},\n",
-        sol.lp_iterations(),
-        sol.update_iterations(),
-        sol.num_constraints()
-    ));
-    out.push_str("  \"certificates\": [");
-    for (i, cert) in sol.certificates().iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str("\n    {\n");
-        out.push_str(&format!("      \"valid\": {},\n", cert.is_valid()));
-        out.push_str(&format!("      \"tolerance\": {:e},\n", cert.tol()));
-        out.push_str(&format!("      \"worst_residual\": {:e},\n", cert.worst()));
-        out.push_str("      \"residuals\": {");
-        for (j, (name, value)) in cert.residuals().iter().enumerate() {
-            if j > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&format!("\"{name}\": {value:e}"));
-        }
-        out.push_str("}\n    }");
-    }
-    if !sol.certificates().is_empty() {
-        out.push_str("\n  ");
-    }
-    out.push_str("]\n}");
-    out
-}
-
 /// Parses `<netlist> [--json]` argument lists (any order).
 fn path_and_json(rest: &[String]) -> Result<(String, bool), String> {
     let mut path = None;
@@ -780,16 +855,9 @@ fn path_and_json(rest: &[String]) -> Result<(String, bool), String> {
     Ok((path.ok_or("missing netlist path")?, json))
 }
 
-/// Loads a netlist file, auto-detecting the gate-level dialect.
+/// Loads a netlist file, auto-detecting the gate-level dialect. Shares
+/// the daemon's parser (and its default input limits).
 fn load(path: &str) -> Result<Circuit, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let gate_level = src.lines().any(|l| {
-        let t = l.split('#').next().unwrap_or("").trim_start();
-        t.starts_with("gate ") || t.starts_with("wire ")
-    });
-    if gate_level {
-        netlist::parse_gates(&src).map_err(|e| format!("{path}: {e}"))
-    } else {
-        netlist::parse(&src).map_err(|e| format!("{path}: {e}"))
-    }
+    smo::api::parse_netlist(&src, &ParseLimits::default()).map_err(|e| format!("{path}: {e}"))
 }

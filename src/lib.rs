@@ -14,7 +14,10 @@
 //! * [`gen`] — circuit generators and the paper's example circuits
 //!   ([`smo_gen`]),
 //! * [`analyze`] — circuit lints and Farkas-certified infeasibility
-//!   diagnosis ([`smo_analyze`]).
+//!   diagnosis ([`smo_analyze`]),
+//! * [`api`] — the shared request/response layer behind the CLI and the
+//!   `smo serve` daemon: line-delimited JSON protocol, deadlines,
+//!   backpressure, caches and graceful degradation ([`smo_api`]).
 //!
 //! ## Quickstart
 //!
@@ -31,6 +34,7 @@
 //! ```
 
 pub use smo_analyze as analyze;
+pub use smo_api as api;
 pub use smo_circuit as circuit;
 pub use smo_core as timing;
 pub use smo_gen as gen;

@@ -12,8 +12,8 @@ use smo::circuit::Circuit;
 use smo::gen::paper::{appendix_fig1, example1, example2, gaas_mips};
 use smo::gen::random::{random_circuit, GenConfig};
 use smo::lp::{
-    certifies_infeasibility, classify, DifferenceSystem, LinExpr, MinParamOutcome, Problem, Status,
-    Tol,
+    certifies_infeasibility, classify, DifferenceSystem, LinExpr, MinParamOutcome, Problem,
+    SolveBudget, Status, Tol,
 };
 use smo::timing::{
     classify_model, cycle_time_bounds, min_cycle_time_with, variable_images, Backend,
@@ -172,7 +172,7 @@ proptest! {
         let cls = classify(model.problem(), &images).expect("classifies");
         prop_assume!(cls.is_pure());
         let system = DifferenceSystem::build(model.problem(), &images, &cls).expect("builds");
-        let cert = match system.minimize_param().expect("search runs") {
+        let cert = match system.minimize_param(&SolveBudget::UNLIMITED).expect("search runs") {
             MinParamOutcome::Infeasible(cert) => cert,
             MinParamOutcome::Optimal { lambda, .. } =>
                 return Err(TestCaseError::fail(format!(
@@ -300,5 +300,35 @@ fn shipped_circuits_classify_as_pure_difference_systems() {
             model.num_constraints(),
             "{name}: classification is total"
         );
+    }
+}
+
+/// Satellite of the serve PR: `SolveBudget::deadline` must be consulted by
+/// the graph backend too, so `--time-limit` holds on *every* backend. An
+/// already-expired deadline returns a structured `LpError::Budget` — never
+/// a partial or unbudgeted result — on graph, auto and lp routes alike,
+/// certified or not.
+#[test]
+fn expired_deadline_is_a_budget_error_on_every_backend() {
+    let circuit = gaas_mips();
+    for backend in [Backend::Graph, Backend::Auto, Backend::Lp] {
+        for certify in [true, false] {
+            let options = MlpOptions {
+                backend,
+                certify,
+                time_limit: Some(std::time::Duration::ZERO),
+                ..Default::default()
+            };
+            match min_cycle_time_with(&circuit, &options) {
+                Err(smo::timing::TimingError::Lp(smo::lp::LpError::Budget {
+                    timed_out, ..
+                })) => {
+                    assert!(timed_out, "{backend}/certify={certify}: expired by time");
+                }
+                other => {
+                    panic!("{backend}/certify={certify}: expected LpError::Budget, got {other:?}")
+                }
+            }
+        }
     }
 }

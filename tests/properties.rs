@@ -329,6 +329,31 @@ proptest! {
         let _ = netlist::parse_gates(&src);
     }
 
+    /// Fully arbitrary byte strings — including control characters and
+    /// invalid UTF-8 sequences (lossily decoded, as the daemon does with
+    /// untrusted request payloads) — never panic either parser, and
+    /// oversized inputs come back as the structured `InputLimit` error.
+    #[test]
+    fn prop_arbitrary_bytes_never_panic_the_parsers(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..2048)
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = netlist::parse(&src);
+        let _ = netlist::parse_gates(&src);
+        // A hostile caller cannot dodge the limits by shrinking them.
+        let tiny = netlist::ParseLimits {
+            max_bytes: 8,
+            ..Default::default()
+        };
+        if src.len() > 8 {
+            let limited = matches!(
+                netlist::parse_with_limits(&src, &tiny),
+                Err(smo::circuit::CircuitError::InputLimit { .. })
+            );
+            prop_assert!(limited);
+        }
+    }
+
     /// Keyword soup built from the format's own vocabulary also never
     /// panics (deeper coverage than fully random bytes).
     #[test]
