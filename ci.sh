@@ -28,6 +28,13 @@ cargo test -q
 echo "==> stress harness (pathological circuits, both simplex variants)"
 cargo test -q --test stress
 
+echo "==> scale-differential suite (dense vs revised vs sparse-LU, release)"
+# The non-ignored tests (shipped netlists, stress suite, proptest-random
+# circuits) also run under plain `cargo test` above; release mode adds the
+# ignored 1k/5k-row generated-datapath tests, which are deadline-bounded
+# so a solver regression fails fast instead of hanging CI.
+cargo test -q --release --test scale_differential -- --include-ignored
+
 echo "==> warm-start differential + sweep determinism suite"
 cargo test -q --test warm_start
 
@@ -96,6 +103,10 @@ echo "==> panic-freedom attributes on the numerical fast-path modules"
 # `--backend auto` caller on pathological inputs.
 grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/lp/src/graph.rs
 grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/core/src/fastpath.rs
+# The sparse-LU simplex kernel and the large-circuit generator feed the
+# scaling gates: both keep the same deny-level attribute.
+grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/lp/src/sparse.rs
+grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/gen/src/datapath.rs
 
 echo "==> panic-freedom attributes across the analysis layer"
 # The static-analysis crate backs the `smo check` CI gate itself: every
@@ -162,5 +173,27 @@ cargo run -q --release -p smo-bench --bin bench_sweep
 
 echo "==> bench_fastpath (regenerates BENCH_fastpath.json, enforces graph >= 10x lp)"
 cargo run -q --release -p smo-bench --bin bench_fastpath
+
+echo "==> 5k-row generated circuit: certified sparse-LU solve under a deadline"
+# End-to-end through the CLI: `smo gen` emits a 5k-constraint-row
+# pipelined datapath, and the sparse-LU variant must return a certified
+# optimum inside an explicit wall-clock budget.
+gen_ckt=$(mktemp --suffix=.ckt)
+./target/release/smo gen --latches 1667 --seed 7 --out "$gen_ckt"
+./target/release/smo solve "$gen_ckt" --backend lp --variant sparse --time-limit 300 \
+  | grep "certified: true" > /dev/null
+rm -f "$gen_ckt"
+
+echo "==> bench_scale (dense vs revised vs sparse-LU scaling gate)"
+# Quick mode enforces the speedup convention at CI-friendly sizes without
+# touching the checked-in curve. The full BENCH_scale.json regeneration
+# (4 sizes to 10k+ rows; ~30 minutes, dominated by deadline-bounded dense
+# solves) runs with SCALE_FULL=1 ./ci.sh and enforces the >= 10x gate at
+# the largest size.
+if [ "${SCALE_FULL:-0}" = "1" ]; then
+  cargo run -q --release -p smo-bench --bin bench_scale
+else
+  cargo run -q --release -p smo-bench --bin bench_scale -- --quick
+fi
 
 echo "CI OK"

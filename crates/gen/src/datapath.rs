@@ -1,0 +1,204 @@
+//! Large pipelined-datapath generator for scaling work.
+//!
+//! [`random`](crate::random) grows circuits by uniform sampling, which is
+//! fine at tens of latches but produces structurally noisy graphs whose
+//! lint findings and LP shapes vary wildly with the seed. This module
+//! instead generates the circuit family the scaling benchmarks and the
+//! scale-differential tests need: a **pipelined datapath** — `stages`
+//! ranks of `width` latches, rank `s` clocked by phase `s mod phases`,
+//! every latch fed by `fanin` distinct latches of the previous rank, and
+//! the last rank fed back to the first so the whole circuit is one
+//! strongly connected core. Only the delays are random; the structure is a
+//! pure function of the configuration, so the netlist is **byte-identical
+//! for a given `(config, seed)` pair** — the golden tests pin that down.
+//!
+//! The family is constructed to pass every `smo lint` rule by design:
+//! every latch has fanin and fanout (feedback closes the boundary ranks),
+//! `stages ≥ phases` keeps every phase populated, fanin sources are
+//! distinct (no duplicate edges), delays are strictly positive (no
+//! zero-delay transparent loops), synchronizers are plain latches with
+//! `setup = dq = 1.0` (no hold-margin or suspicious-ratio findings), and
+//! the column-mixing fanin pattern plus the feedback ring make the graph
+//! one cyclic SCC (nothing unreachable, nothing disconnected).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smo_circuit::{Circuit, CircuitBuilder, LatchId, PhaseId};
+
+/// Configuration for [`pipelined_datapath`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatapathConfig {
+    /// Pipeline depth (ranks of latches). Must be `≥ phases` so every
+    /// phase clocks at least one rank.
+    pub stages: usize,
+    /// Latches per rank; total latches = `stages × width`.
+    pub width: usize,
+    /// Clock phases `k ≥ 2` (rank `s` is clocked by phase `s mod k`).
+    pub phases: usize,
+    /// Distinct previous-rank sources per latch (`1 ≤ fanin ≤ width`).
+    /// Use `≥ 2`: a fanin of 1 degenerates into `width` disconnected
+    /// column rings, which `smo lint` rightly flags.
+    pub fanin: usize,
+    /// Uniform range for combinational long-path delays; both endpoints
+    /// must be strictly positive.
+    pub delay_range: (f64, f64),
+}
+
+impl Default for DatapathConfig {
+    fn default() -> Self {
+        DatapathConfig {
+            stages: 8,
+            width: 16,
+            phases: 2,
+            fanin: 2,
+            delay_range: (5.0, 40.0),
+        }
+    }
+}
+
+impl DatapathConfig {
+    /// A configuration with roughly `latches` total latches: depth grows
+    /// slowly (cube root) so large circuits stay wide and shallow like
+    /// real datapaths; the exact total is `stages × width ≥ latches`.
+    pub fn with_latches(latches: usize) -> Self {
+        let latches = latches.max(4);
+        let mut stages = (latches as f64).cbrt().round() as usize;
+        stages = stages.clamp(2, 64);
+        let width = latches.div_ceil(stages).max(2);
+        DatapathConfig {
+            stages,
+            width,
+            ..Self::default()
+        }
+    }
+
+    /// Total latches this configuration generates.
+    pub fn latches(&self) -> usize {
+        self.stages * self.width
+    }
+
+    /// Total combinational edges this configuration generates
+    /// (`(stages − 1) × width × fanin` forward + `width × fanin` feedback).
+    pub fn edges(&self) -> usize {
+        self.stages * self.width * self.fanin
+    }
+}
+
+/// Generates a pipelined datapath (see the [module docs](self)).
+///
+/// Latch `s,w` (rank `s`, column `w`) is fed by latches
+/// `(s−1, (w + k) mod width)` for `k in 0..fanin`; rank 0 is fed the same
+/// way from the last rank, closing the pipeline into a single strongly
+/// connected core. Delays are drawn uniformly from `delay_range` in a
+/// fixed traversal order, so the output is byte-deterministic per
+/// `(config, seed)`.
+///
+/// # Panics
+///
+/// Panics on a degenerate configuration: `phases < 2`, `stages < phases`,
+/// `width < 2`, `fanin` outside `1..=width`, or a non-positive or empty
+/// delay range.
+pub fn pipelined_datapath(config: &DatapathConfig, seed: u64) -> Circuit {
+    assert!(config.phases >= 2, "need at least 2 clock phases");
+    assert!(
+        config.stages >= config.phases,
+        "need stages >= phases so every phase clocks a rank"
+    );
+    assert!(config.width >= 2, "need at least 2 latches per rank");
+    assert!(
+        (1..=config.width).contains(&config.fanin),
+        "fanin must be in 1..=width"
+    );
+    assert!(
+        config.delay_range.0 > 0.0 && config.delay_range.0 <= config.delay_range.1,
+        "delay range must be positive and non-empty"
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(config.phases);
+    let mut ranks: Vec<Vec<LatchId>> = Vec::with_capacity(config.stages);
+    for s in 0..config.stages {
+        let phase = PhaseId::new(s % config.phases);
+        ranks.push(
+            (0..config.width)
+                .map(|w| b.add_latch(format!("R{s}C{w}"), phase, 1.0, 1.0))
+                .collect(),
+        );
+    }
+    for s in 0..config.stages {
+        let prev = &ranks[(s + config.stages - 1) % config.stages];
+        for w in 0..config.width {
+            for k in 0..config.fanin {
+                let from = prev[(w + k) % config.width];
+                let delay = rng.gen_range(config.delay_range.0..=config.delay_range.1);
+                b.connect(from, ranks[s][w], delay);
+            }
+        }
+    }
+    match b.build() {
+        Ok(circuit) => circuit,
+        // The asserts above rule out every structural error the builder
+        // can report (bad phase ids, duplicate edges, dangling latches).
+        Err(e) => unreachable!("generated datapath is structurally valid: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_config() {
+        let config = DatapathConfig::default();
+        let c = pipelined_datapath(&config, 7);
+        assert_eq!(c.num_latches(), config.latches());
+        assert_eq!(c.num_edges(), config.edges());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = DatapathConfig {
+            stages: 5,
+            width: 7,
+            phases: 3,
+            fanin: 3,
+            ..DatapathConfig::default()
+        };
+        let a = pipelined_datapath(&config, 42);
+        let b = pipelined_datapath(&config, 42);
+        let c = pipelined_datapath(&config, 43);
+        assert_eq!(
+            smo_circuit::netlist::write(&a),
+            smo_circuit::netlist::write(&b)
+        );
+        assert_ne!(
+            smo_circuit::netlist::write(&a),
+            smo_circuit::netlist::write(&c)
+        );
+    }
+
+    #[test]
+    fn with_latches_hits_the_target() {
+        for n in [100, 1_000, 10_000] {
+            let config = DatapathConfig::with_latches(n);
+            assert!(config.latches() >= n);
+            assert!(config.latches() < n + n / 2 + config.stages * 2);
+            assert!(config.stages >= config.phases);
+        }
+    }
+
+    #[test]
+    fn four_phase_deep_pipeline_builds() {
+        let config = DatapathConfig {
+            stages: 9,
+            width: 4,
+            phases: 4,
+            ..DatapathConfig::default()
+        };
+        let c = pipelined_datapath(&config, 1);
+        assert_eq!(c.num_phases(), 4);
+        assert_eq!(c.num_latches(), 36);
+    }
+}

@@ -8,6 +8,9 @@
 //!   circuit of Fig. 1;
 //! * [`random`] — seeded random pipelines, rings and multi-phase circuits
 //!   for property tests and scaling benchmarks;
+//! * [`datapath`] — byte-deterministic pipelined datapaths (2–4 phase
+//!   clocks, 1k–100k latches) that pass `smo lint` by construction — the
+//!   circuit family behind `smo gen` and the scaling benchmarks;
 //! * [`stress`] — pathological circuits (badly scaled delays, zero-delay
 //!   loops, near-duplicate constraint rows, degenerate ties) for the
 //!   numerical-robustness stress harness.
@@ -20,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod datapath;
 pub mod paper;
 pub mod random;
 pub mod stress;

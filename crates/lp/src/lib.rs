@@ -85,6 +85,7 @@ mod revised;
 mod scale;
 mod simplex;
 mod solution;
+mod sparse;
 mod tol;
 mod verify;
 
@@ -102,6 +103,7 @@ pub use presolve::{PresolveOptions, PresolveStats, Presolved, RowFate, VarFate};
 pub use problem::{ConstraintId, Objective, Problem, Sense, SimplexVariant};
 pub use recover::{CertifiedSolution, RecoveryPolicy, RecoveryStep, SolveBudget};
 pub use solution::{OptimalSolution, Solution, Status};
+pub use sparse::LuFactors;
 pub use tol::Tol;
 pub use verify::Certificate;
 

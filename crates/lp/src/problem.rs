@@ -10,16 +10,23 @@ use std::fmt;
 
 /// Which simplex implementation [`Problem::solve_with`] runs.
 ///
-/// Both produce the same statuses and optima; see the
+/// All variants produce the same statuses and optima; see the
 /// [`revised`-module docs](crate) for the performance trade-off (the
-/// revised variant exploits the 0/±1 sparsity of SMO constraint matrices).
+/// revised variant exploits the 0/±1 sparsity of SMO constraint matrices)
+/// and the [`sparse`-module docs](crate) for the large-model variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum SimplexVariant {
     /// Classical dense tableau (default; required for parametric analysis).
     #[default]
     Dense,
-    /// Sparse revised simplex with a product-form inverse.
+    /// Revised simplex with a dense product-form inverse.
     Revised,
+    /// Sparse-LU revised simplex: Markowitz-ordered basis factorization,
+    /// bounded-eta updates, devex pricing. The only variant whose
+    /// per-solve memory and refactorization cost scale with the matrix
+    /// *nonzeros* rather than `rows²`/`rows³` — use it beyond a few
+    /// thousand rows.
+    SparseLu,
 }
 
 /// Direction of optimization.
@@ -302,6 +309,7 @@ impl Problem {
         match variant {
             SimplexVariant::Dense => simplex::solve_budgeted(self, budget),
             SimplexVariant::Revised => revised::solve_budgeted(self, budget),
+            SimplexVariant::SparseLu => crate::sparse::solve_budgeted(self, budget),
         }
     }
 
@@ -354,6 +362,9 @@ impl Problem {
         match variant {
             SimplexVariant::Dense => simplex::solve_from_basis_budgeted(self, basis, budget),
             SimplexVariant::Revised => revised::solve_from_basis_budgeted(self, basis, budget),
+            SimplexVariant::SparseLu => {
+                crate::sparse::solve_from_basis_budgeted(self, basis, budget)
+            }
         }
     }
 
@@ -393,7 +404,9 @@ impl Problem {
     /// construction (no objective, malformed bounds, …).
     pub fn matrix_fingerprint(&self) -> Result<u64, LpError> {
         self.validate()?;
-        Ok(simplex::Tableau::build(self, None)?.matrix_hash)
+        // The CSC standard form carries the same hash as the dense tableau
+        // (the tableau is densified from it) at O(nnz) cost, not O(m·n).
+        Ok(crate::sparse::StdForm::build(self, None)?.matrix_hash)
     }
 }
 

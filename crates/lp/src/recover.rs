@@ -206,11 +206,16 @@ impl CertifiedSolution {
     }
 }
 
-/// The other simplex implementation.
+/// The alternate simplex implementation tried by the
+/// [`RecoveryStep::AlternateVariant`] rung. Dense and revised cross-check
+/// each other; the sparse-LU variant falls back to the revised simplex
+/// (a genuinely different factorization and pricing scheme, but one that
+/// is still tractable on models the sparse path was chosen for).
 fn other(v: SimplexVariant) -> SimplexVariant {
     match v {
         SimplexVariant::Dense => SimplexVariant::Revised,
         SimplexVariant::Revised => SimplexVariant::Dense,
+        SimplexVariant::SparseLu => SimplexVariant::Revised,
     }
 }
 

@@ -22,7 +22,7 @@
 
 use crate::basis::{Basis, BasisEntry};
 use crate::error::LpError;
-use crate::problem::{Objective, Problem, Sense};
+use crate::problem::{Problem, Sense};
 use crate::solution::{Solution, Status};
 use crate::EPS;
 use std::sync::OnceLock;
@@ -40,12 +40,7 @@ pub(crate) enum ColKind {
     Artificial { row: usize },
 }
 
-/// How a user variable maps to standard-form columns.
-#[derive(Debug, Clone, Copy)]
-enum VarCols {
-    Shifted { col: usize, shift: f64 },
-    Split { pos: usize, neg: usize },
-}
+use crate::sparse::VarCols;
 
 /// Standard-form tableau shared between the primal solver and the parametric
 /// post-processor.
@@ -106,210 +101,47 @@ impl Tableau {
     /// Builds the standard-form tableau for `p`. `param` gives the per-user-row
     /// RHS perturbation direction (defaults to all zeros).
     pub(crate) fn build(p: &Problem, param: Option<&[f64]>) -> Result<Tableau, LpError> {
-        let (direction, obj_expr) = p.objective.as_ref().ok_or(LpError::MissingObjective)?;
-        let sense_factor = match direction {
-            Objective::Minimize => 1.0,
-            Objective::Maximize => -1.0,
-        };
+        Ok(Tableau::from_std_form(crate::sparse::StdForm::build(
+            p, param,
+        )?))
+    }
 
-        // --- variable mapping -------------------------------------------
-        let mut var_cols = Vec::with_capacity(p.vars.len());
-        let mut col_kinds: Vec<ColKind> = Vec::new();
-        // rows for finite upper bounds: (expr over user var, rhs)
-        let mut bound_rows: Vec<(usize, f64)> = Vec::new();
-        for (i, v) in p.vars.iter().enumerate() {
-            if v.lower.is_finite() {
-                let col = col_kinds.len();
-                col_kinds.push(ColKind::Structural { var: i, sign: 1.0 });
-                var_cols.push(VarCols::Shifted {
-                    col,
-                    shift: v.lower,
-                });
-                if v.upper.is_finite() {
-                    bound_rows.push((i, v.upper));
-                }
-            } else {
-                let pos = col_kinds.len();
-                col_kinds.push(ColKind::Structural { var: i, sign: 1.0 });
-                let neg = col_kinds.len();
-                col_kinds.push(ColKind::Structural { var: i, sign: -1.0 });
-                var_cols.push(VarCols::Split { pos, neg });
-                if v.upper.is_finite() {
-                    bound_rows.push((i, v.upper));
-                }
-            }
-        }
-        let nstruct = col_kinds.len();
-
-        // --- assemble raw rows (dense over structural columns) ----------
-        struct RawRow {
-            coeffs: Vec<f64>,
-            sense: Sense,
-            rhs: f64,
-            param: f64,
-        }
-        let mut raw: Vec<RawRow> = Vec::with_capacity(p.rows.len() + bound_rows.len());
-        let zero_param = vec![0.0; p.rows.len()];
-        let param = param.unwrap_or(&zero_param);
-        debug_assert_eq!(param.len(), p.rows.len());
-
-        let expr_to_dense = |expr: &crate::LinExpr, var_cols: &[VarCols]| -> (Vec<f64>, f64) {
-            let mut coeffs = vec![0.0; nstruct];
-            let mut shift_sum = 0.0;
-            for (v, c) in expr.iter() {
-                match var_cols[v.index()] {
-                    VarCols::Shifted { col, shift } => {
-                        coeffs[col] += c;
-                        shift_sum += c * shift;
-                    }
-                    VarCols::Split { pos, neg } => {
-                        coeffs[pos] += c;
-                        coeffs[neg] -= c;
-                    }
-                }
-            }
-            (coeffs, shift_sum)
-        };
-
-        for (i, row) in p.rows.iter().enumerate() {
-            let (coeffs, shift_sum) = expr_to_dense(&row.expr, &var_cols);
-            raw.push(RawRow {
-                coeffs,
-                sense: row.sense,
-                rhs: row.rhs - shift_sum,
-                param: param[i],
-            });
-        }
-        for &(var, upper) in &bound_rows {
-            let mut coeffs = vec![0.0; nstruct];
-            let rhs = match var_cols[var] {
-                VarCols::Shifted { col, shift } => {
-                    coeffs[col] = 1.0;
-                    upper - shift
-                }
-                VarCols::Split { pos, neg } => {
-                    coeffs[pos] = 1.0;
-                    coeffs[neg] = -1.0;
-                    upper
-                }
-            };
-            raw.push(RawRow {
-                coeffs,
-                sense: Sense::Le,
-                rhs,
-                param: 0.0,
-            });
-        }
-
-        // --- normalize RHS >= 0, add logical columns ---------------------
-        let m = raw.len();
-        let mut row_flip = vec![false; m];
-        for (r, row) in raw.iter_mut().enumerate() {
-            if row.rhs < 0.0 {
-                row_flip[r] = true;
-                for c in &mut row.coeffs {
-                    *c = -*c;
-                }
-                row.rhs = -row.rhs;
-                row.param = -row.param;
-                row.sense = match row.sense {
-                    Sense::Le => Sense::Ge,
-                    Sense::Ge => Sense::Le,
-                    Sense::Eq => Sense::Eq,
-                };
-            }
-        }
-
-        // logical columns
-        let mut slack_col = vec![usize::MAX; m];
-        let mut surplus_col = vec![usize::MAX; m];
-        let mut art_col = vec![usize::MAX; m];
-        for (r, row) in raw.iter().enumerate() {
-            match row.sense {
-                Sense::Le => {
-                    slack_col[r] = col_kinds.len();
-                    col_kinds.push(ColKind::Slack { row: r });
-                }
-                Sense::Ge => {
-                    surplus_col[r] = col_kinds.len();
-                    col_kinds.push(ColKind::Surplus { row: r });
-                    art_col[r] = col_kinds.len();
-                    col_kinds.push(ColKind::Artificial { row: r });
-                }
-                Sense::Eq => {
-                    art_col[r] = col_kinds.len();
-                    col_kinds.push(ColKind::Artificial { row: r });
-                }
-            }
-        }
-        let ncols = col_kinds.len();
-
-        // --- dense tableau ------------------------------------------------
+    /// Densifies the shared CSC standard form into the classic tableau
+    /// layout: one row of width `ncols + 2` per constraint (columns, then
+    /// RHS, then the parametric Δ). Every standard-form convention —
+    /// column order, RHS normalization, the matrix hash — is inherited
+    /// from [`StdForm`](crate::sparse::StdForm), so the dense, revised,
+    /// and sparse-LU variants agree on them by construction.
+    pub(crate) fn from_std_form(sf: crate::sparse::StdForm) -> Tableau {
+        let m = sf.m;
+        let ncols = sf.ncols;
         let mut tab = vec![vec![0.0; ncols + 2]; m];
-        let mut basis = vec![usize::MAX; m];
-        let mut dual_col = vec![usize::MAX; m];
-        for (r, row) in raw.iter().enumerate() {
-            tab[r][..nstruct].copy_from_slice(&row.coeffs);
-            tab[r][ncols + RHS] = row.rhs;
-            tab[r][ncols + PARAM] = row.param;
-            if slack_col[r] != usize::MAX {
-                tab[r][slack_col[r]] = 1.0;
-                basis[r] = slack_col[r];
-                dual_col[r] = slack_col[r];
-            }
-            if surplus_col[r] != usize::MAX {
-                tab[r][surplus_col[r]] = -1.0;
-            }
-            if art_col[r] != usize::MAX {
-                tab[r][art_col[r]] = 1.0;
-                basis[r] = art_col[r];
-                dual_col[r] = art_col[r];
+        for (j, col) in sf.cols.iter().enumerate() {
+            for &(r, v) in col {
+                tab[r][j] = v;
             }
         }
-
-        // --- phase-2 costs (minimize orientation) -------------------------
-        let mut costs = vec![0.0; ncols];
-        {
-            let (dense, _shift_sum) = expr_to_dense(obj_expr, &var_cols);
-            for (c, v) in dense.iter().enumerate() {
-                costs[c] = sense_factor * v;
-            }
+        for (r, row) in tab.iter_mut().enumerate() {
+            row[ncols + RHS] = sf.rhs[r];
+            row[ncols + PARAM] = sf.param[r];
         }
-
-        // --- matrix hash (pre-pivot, coefficients only) -------------------
-        // FNV-1a over the sparse (row, col, bits) triples. The RHS and the
-        // parametric column are excluded on purpose: a basis factorization
-        // depends only on the matrix, and RHS-only perturbations (delay
-        // sweeps) must keep the hash — and thus the cached factor — valid.
-        let mut matrix_hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for (r, row) in tab.iter().enumerate() {
-            for (j, &v) in row.iter().take(ncols).enumerate() {
-                if v != 0.0 {
-                    for word in [r as u64, j as u64, v.to_bits()] {
-                        matrix_hash ^= word;
-                        matrix_hash = matrix_hash.wrapping_mul(0x0000_0100_0000_01b3);
-                    }
-                }
-            }
-        }
-
-        Ok(Tableau {
+        Tableau {
             tab,
-            basis,
+            basis: sf.initial_basis,
             ncols,
-            col_kinds,
-            costs,
+            col_kinds: sf.col_kinds,
+            costs: sf.costs,
             z: vec![0.0; ncols],
             z2: None,
-            sense_factor,
-            row_flip,
-            dual_col,
-            user_rows: p.rows.len(),
-            matrix_hash,
-            var_cols,
+            sense_factor: sf.sense_factor,
+            row_flip: sf.row_flip,
+            dual_col: sf.dual_col,
+            user_rows: sf.user_rows,
+            matrix_hash: sf.matrix_hash,
+            var_cols: sf.var_cols,
             iterations: 0,
             budget: crate::recover::SolveBudget::UNLIMITED,
-        })
+        }
     }
 
     /// Snapshots an arbitrary basic-column list as a [`Basis`] in

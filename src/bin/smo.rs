@@ -34,6 +34,8 @@ use smo::analyze::{analyze, check, diagnose, lint, AnalyzeError, CheckOptions, P
 use smo::api::{solve_json, sweep_json, ParseLimits};
 use smo::circuit::EdgeId;
 use smo::circuit::{lump_equivalent_latches, netlist, to_dot, Circuit, ClockSchedule};
+use smo::gen::datapath::{pipelined_datapath, DatapathConfig};
+use smo::lp::SimplexVariant;
 use smo::sim::{monte_carlo, simulate, MonteCarloOptions, SimOptions};
 use smo::timing::{
     graph_feasible_at, min_cycle_time, min_cycle_time_with, render_solution, sweep_cycle_time,
@@ -57,6 +59,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   smo optimize <netlist>                         minimum cycle time + schedule
   smo solve    <netlist> [--backend auto|graph|lp] [--no-certify]
+               [--variant dense|revised|sparse]
                [--time-limit <secs>] [--json]
                                                  minimum cycle time with every
                                                  solver verdict independently
@@ -69,6 +72,15 @@ const USAGE: &str = "usage:
                                                  difference-only models on the
                                                  graph and warm-starts the
                                                  simplex otherwise
+  smo gen      [--latches N | --stages S --width W] [--phases K] [--fanin F]
+               [--delay-min A] [--delay-max B] [--seed S] [--out FILE]
+                                                 seeded pipelined-datapath
+                                                 generator: K-phase pipeline,
+                                                 byte-identical netlist for
+                                                 identical flags (stdout or
+                                                 FILE); lint-clean by
+                                                 construction, built for the
+                                                 1k-100k-latch scaling range
   smo report   <netlist>                         full timing report
   smo verify   <netlist> <Tc> <s,w> [<s,w> ...] [--backend auto|graph|lp]
                                                  check a concrete schedule;
@@ -168,6 +180,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                             .ok_or("--backend needs a value (auto, graph or lp)")?
                             .parse()?;
                     }
+                    "--variant" => options.simplex = parse_variant(&mut it)?,
                     "--time-limit" => {
                         let secs: f64 = it
                             .next()
@@ -221,6 +234,85 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             } else {
                 ExitCode::SUCCESS
             })
+        }
+        "gen" => {
+            let mut config = DatapathConfig::default();
+            let mut latches: Option<usize> = None;
+            let mut stages: Option<usize> = None;
+            let mut width: Option<usize> = None;
+            let mut seed: u64 = 0;
+            let mut out: Option<String> = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--latches" => latches = Some(parse_arg(&mut it, "--latches")?),
+                    "--stages" => stages = Some(parse_arg(&mut it, "--stages")?),
+                    "--width" => width = Some(parse_arg(&mut it, "--width")?),
+                    "--phases" => config.phases = parse_arg(&mut it, "--phases")?,
+                    "--fanin" => config.fanin = parse_arg(&mut it, "--fanin")?,
+                    "--delay-min" => config.delay_range.0 = parse_arg(&mut it, "--delay-min")?,
+                    "--delay-max" => config.delay_range.1 = parse_arg(&mut it, "--delay-max")?,
+                    "--seed" => seed = parse_arg(&mut it, "--seed")?,
+                    "--out" => out = Some(parse_arg(&mut it, "--out")?),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            if let Some(n) = latches {
+                if stages.is_some() || width.is_some() {
+                    return Err("--latches is exclusive with --stages/--width".into());
+                }
+                let sized = DatapathConfig::with_latches(n);
+                config.stages = sized.stages;
+                config.width = sized.width;
+            }
+            if let Some(s) = stages {
+                config.stages = s;
+            }
+            if let Some(w) = width {
+                config.width = w;
+            }
+            // Validate up front so bad flags are CLI errors, not panics.
+            if !(2..=4).contains(&config.phases) {
+                return Err(format!("--phases must be 2..=4, got {}", config.phases));
+            }
+            if config.stages < config.phases {
+                return Err(format!(
+                    "need --stages >= --phases so every phase clocks a rank ({} < {})",
+                    config.stages, config.phases
+                ));
+            }
+            if config.width < 2 {
+                return Err("need --width >= 2".into());
+            }
+            if !(1..=config.width).contains(&config.fanin) {
+                return Err(format!(
+                    "--fanin must be in 1..={}, got {}",
+                    config.width, config.fanin
+                ));
+            }
+            if !(config.delay_range.0 > 0.0 && config.delay_range.0 <= config.delay_range.1) {
+                return Err(format!(
+                    "delay range must be positive and non-empty, got {:?}",
+                    config.delay_range
+                ));
+            }
+            let circuit = pipelined_datapath(&config, seed);
+            let text = netlist::write(&circuit);
+            eprintln!(
+                "generated {} latches ({} stages x {} wide), {} edges, {} phases, seed {seed}",
+                circuit.num_latches(),
+                config.stages,
+                config.width,
+                circuit.num_edges(),
+                circuit.num_phases()
+            );
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?
+                }
+                None => print!("{text}"),
+            }
+            Ok(ExitCode::SUCCESS)
         }
         "report" => {
             let circuit = load(rest.first().ok_or("missing netlist path")?)?;
@@ -839,6 +931,19 @@ where
         .ok_or_else(|| format!("{flag} needs a value"))?
         .parse()
         .map_err(|e| format!("bad {flag} value: {e}"))
+}
+
+/// Parses the value following `--variant`.
+fn parse_variant(it: &mut std::slice::Iter<'_, String>) -> Result<SimplexVariant, String> {
+    match it.next().map(String::as_str) {
+        Some("dense") => Ok(SimplexVariant::Dense),
+        Some("revised") => Ok(SimplexVariant::Revised),
+        Some("sparse") => Ok(SimplexVariant::SparseLu),
+        Some(other) => Err(format!(
+            "bad --variant `{other}` (expected dense, revised or sparse)"
+        )),
+        None => Err("--variant needs a value (dense, revised or sparse)".into()),
+    }
 }
 
 /// Parses `<netlist> [--json]` argument lists (any order).

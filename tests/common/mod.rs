@@ -2,7 +2,7 @@
 //!
 //! The solve helpers here are deliberately *differential*: whenever a
 //! caller hands them a basis snapshot, the model is solved cold **and**
-//! warm (both simplex variants) and the verdicts are asserted to agree
+//! warm (every simplex variant) and the verdicts are asserted to agree
 //! within [`Tol::TIGHT`]. Every suite that routes its re-solve loops
 //! through this module therefore doubles as a warm-start regression test.
 #![allow(dead_code)]
@@ -11,13 +11,17 @@ use smo::circuit::Circuit;
 use smo::lp::{Basis, Problem, SimplexVariant, Solution, Status, Tol};
 use smo::timing::TimingModel;
 
-/// Solves `p` cold; with a snapshot, also re-solves warm from it with both
-/// simplex variants and asserts status and objective agree with the cold
+/// Solves `p` cold; with a snapshot, also re-solves warm from it with every
+/// simplex variant and asserts status and objective agree with the cold
 /// verdict. Returns the cold solution.
 pub fn solve_checked(p: &Problem, warm_from: Option<&Basis>) -> Solution {
     let cold = p.solve().expect("cold solve runs");
     if let Some(basis) = warm_from {
-        for variant in [SimplexVariant::Dense, SimplexVariant::Revised] {
+        for variant in [
+            SimplexVariant::Dense,
+            SimplexVariant::Revised,
+            SimplexVariant::SparseLu,
+        ] {
             let warm = p
                 .solve_from_basis_with(variant, basis)
                 .expect("warm solve runs");
@@ -50,14 +54,18 @@ pub fn solve_checked(p: &Problem, warm_from: Option<&Basis>) -> Solution {
 }
 
 /// LP-level minimum cycle time of `circuit`, solved cold; with a snapshot,
-/// also solved warm from it (both variants, objectives asserted equal).
+/// also solved warm from it (every variant, objectives asserted equal).
 /// Returns the cycle time and the cold solve's own basis for chaining.
 pub fn min_tc_checked(circuit: &Circuit, warm_from: Option<&Basis>) -> (f64, Basis) {
     let model = TimingModel::build(circuit).expect("model builds");
     let cold = model.solve_lp().expect("plain SMO models are feasible");
     let tc = cold.objective();
     if let Some(basis) = warm_from {
-        for variant in [SimplexVariant::Dense, SimplexVariant::Revised] {
+        for variant in [
+            SimplexVariant::Dense,
+            SimplexVariant::Revised,
+            SimplexVariant::SparseLu,
+        ] {
             let warm = model
                 .solve_lp_from_basis(variant, basis)
                 .expect("warm solve runs");
