@@ -38,6 +38,13 @@ cargo test -q --release --test scale_differential -- --include-ignored
 echo "==> warm-start differential + sweep determinism suite"
 cargo test -q --test warm_start
 
+echo "==> pricing-equivalence suite (devex vs partial vs bland, release)"
+# Every pricing rule must produce the same certified verdict and optimum
+# on the shipped netlists, the stress suite, and proptest-random
+# circuits — the contract that makes `--pricing` a pure performance
+# knob. Release mode keeps the sparse stress solves fast.
+cargo test -q --release --test pricing_equivalence
+
 echo "==> smo lint + smo analyze + certified smo solve over circuits/*.ckt"
 # `lint` exits non-zero on error-severity findings; `analyze` exits 2 when
 # the combinatorial bracket, the presolved solve, the plain solve or the
@@ -103,9 +110,12 @@ echo "==> panic-freedom attributes on the numerical fast-path modules"
 # `--backend auto` caller on pathological inputs.
 grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/lp/src/graph.rs
 grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/core/src/fastpath.rs
-# The sparse-LU simplex kernel and the large-circuit generator feed the
-# scaling gates: both keep the same deny-level attribute.
+# The sparse-LU simplex kernel, its hypersparse solve/pricing modules,
+# and the large-circuit generator feed the scaling gates: all keep the
+# same deny-level attribute.
 grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/lp/src/sparse.rs
+grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/lp/src/hypersparse.rs
+grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/lp/src/pricing.rs
 grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/gen/src/datapath.rs
 
 echo "==> panic-freedom attributes across the analysis layer"
@@ -185,11 +195,14 @@ gen_ckt=$(mktemp --suffix=.ckt)
 rm -f "$gen_ckt"
 
 echo "==> bench_scale (dense vs revised vs sparse-LU scaling gate)"
-# Quick mode enforces the speedup convention at CI-friendly sizes without
+# Quick mode enforces the speedup convention at CI-friendly sizes, then
+# re-measures sparse pivots/sec at the 10k-row anchor and fails if it
+# drops below half the checked-in sparse_pivots_per_sec_10k — the
+# throughput regression gate for the hypersparse kernels — all without
 # touching the checked-in curve. The full BENCH_scale.json regeneration
-# (4 sizes to 10k+ rows; ~30 minutes, dominated by deadline-bounded dense
-# solves) runs with SCALE_FULL=1 ./ci.sh and enforces the >= 10x gate at
-# the largest size.
+# (6 sizes to ~50k rows; dense/revised are deadline-bounded, the jumbo
+# sparse solves get up to 1800 s each) runs with SCALE_FULL=1 ./ci.sh
+# and enforces the >= 10x gate at the largest three-way size.
 if [ "${SCALE_FULL:-0}" = "1" ]; then
   cargo run -q --release -p smo-bench --bin bench_scale
 else

@@ -377,12 +377,16 @@ impl Engine {
         };
         match command {
             Command::Solve {
-                backend, certify, ..
+                backend,
+                certify,
+                pricing,
+                ..
             } => {
                 let mut options = MlpOptions {
                     backend: *backend,
                     certify: *certify,
                     time_limit,
+                    pricing: *pricing,
                     ..Default::default()
                 };
                 degradation.shape(&mut options);
@@ -420,11 +424,12 @@ impl Engine {
                 spread,
                 seed,
                 certify,
+                pricing,
                 ..
             } => {
                 let certify = *certify && degradation < Degradation::Uncertified;
                 ops::run_sweep(
-                    &circuit, param, *runs, *edge, *max_delay, *spread, *seed, certify,
+                    &circuit, param, *runs, *edge, *max_delay, *spread, *seed, certify, *pricing,
                 )
             }
             _ => Err(ApiError::new(
@@ -499,8 +504,11 @@ fn envelope(
 fn command_signature(request: &Request) -> String {
     match &request.command {
         Command::Solve {
-            backend, certify, ..
-        } => format!("solve:{backend:?}:{certify}"),
+            backend,
+            certify,
+            pricing,
+            ..
+        } => format!("solve:{backend:?}:{certify}:{pricing}"),
         Command::Verify {
             cycle_time,
             phases,
@@ -527,8 +535,11 @@ fn command_signature(request: &Request) -> String {
             spread,
             seed,
             certify,
+            pricing,
             ..
-        } => format!("sweep:{param}:{runs}:{edge}:{max_delay:?}:{spread:.12e}:{seed}:{certify}"),
+        } => format!(
+            "sweep:{param}:{runs}:{edge}:{max_delay:?}:{spread:.12e}:{seed}:{certify}:{pricing}"
+        ),
         Command::Ping | Command::Stats | Command::Shutdown | Command::DebugPanic => {
             request.command.name().to_string()
         }

@@ -226,6 +226,7 @@ pub fn run_sweep(
     spread: f64,
     seed: u64,
     certify: bool,
+    pricing: smo_lp::Pricing,
 ) -> Result<String, ApiError> {
     let param = match param {
         "tc" => {
@@ -249,6 +250,7 @@ pub fn run_sweep(
         seed,
         jobs: 1,
         certify,
+        pricing,
         ..Default::default()
     };
     let reports = sweep_cycle_time(std::slice::from_ref(circuit), &options)?;
@@ -310,9 +312,31 @@ mod tests {
     #[test]
     fn run_sweep_rejects_out_of_range_edges() {
         let circuit = paper::example2();
-        let e = run_sweep(&circuit, "tc", 4, 10_000, None, 0.1, 0, false).unwrap_err();
+        let e = run_sweep(
+            &circuit,
+            "tc",
+            4,
+            10_000,
+            None,
+            0.1,
+            0,
+            false,
+            Default::default(),
+        )
+        .unwrap_err();
         assert_eq!(e.kind, crate::error::ErrorKind::BadRequest);
-        let json = run_sweep(&circuit, "delay", 3, 0, None, 0.05, 7, false).unwrap();
+        let json = run_sweep(
+            &circuit,
+            "delay",
+            3,
+            0,
+            None,
+            0.05,
+            7,
+            false,
+            Default::default(),
+        )
+        .unwrap();
         assert!(json.contains("\"param\": \"delay\""));
     }
 }

@@ -1,38 +1,61 @@
 //! Scaling benchmark: dense vs revised vs sparse-LU certified solve time
 //! as the timing model grows from the paper's scale (~650 rows) past
-//! 10 000 constraint rows.
+//! 10 000 constraint rows, with jumbo sparse-only sizes to 50k+ rows.
 //!
 //! Circuits come from the seeded pipelined-datapath generator (`smo gen`),
 //! so every run measures byte-identical models. Each variant runs one
 //! certified cycle-time LP per size under a wall-clock deadline; a solve
 //! that hits the deadline is recorded with its elapsed time at abort and
-//! `timed_out = true` — an honest lower bound, never an extrapolation.
+//! `timed_out = true` — an honest lower bound, never an extrapolation. At
+//! the jumbo sizes the dense/revised deadline is capped (they are known
+//! to be orders of magnitude off the pace; burning an hour to prove it
+//! again adds nothing), so their rows there are lower bounds by design.
 //!
 //! Writes `BENCH_scale.json` at the repository root (checked in as the
-//! reference curve; regenerated by `ci.sh`). The run aborts if the
+//! reference curve; regenerated on demand). The run aborts if the
 //! sparse-LU variant is not at least 10× faster than the dense tableau at
-//! the largest size, or if any two variants that both finished disagree
-//! on the verdict or the optimum.
+//! the anchor (10k-row) size, or if any two variants that both finished
+//! disagree on the verdict or the optimum.
+//!
+//! `--quick` (the CI smoke mode) runs the two small sizes three-way, then
+//! one sparse-only solve at the anchor size and gates its `pivots_per_sec`
+//! against the checked-in `sparse_pivots_per_sec_10k` (≥ half, to absorb
+//! shared-runner noise) — a cheap tripwire against kernel regressions.
 
 use std::time::{Duration, Instant};
 
 use smo_core::TimingModel;
 use smo_gen::datapath::{pipelined_datapath, DatapathConfig};
-use smo_lp::{LpError, RecoveryPolicy, SimplexVariant, SolveBudget, Tol};
+use smo_lp::{LpError, Pricing, RecoveryPolicy, SimplexVariant, SolveBudget, Tol};
 
-/// Latch targets chosen so the models land near 650 / 2k / 5k / 10k rows.
-const SIZES: [usize; 4] = [216, 667, 1_667, 3_333];
-/// `--quick` keeps only the first `QUICK_SIZES` sizes (CI smoke mode: the
-/// full curve is the checked-in artifact, regenerated on demand).
+/// Latch targets chosen so the models land near 650 / 2k / 5k / 10k /
+/// 25k / 50k rows (rows ≈ 3 × latches + a little).
+const SIZES: [usize; 6] = [216, 667, 1_667, 3_333, 8_333, 16_667];
+/// Index into [`SIZES`] of the anchor size (~10k rows): the largest size
+/// every variant runs with full deadline headroom, where the 10× gate and
+/// the `sparse_pivots_per_sec_10k` reference are evaluated.
+const ANCHOR: usize = 3;
+/// `--quick` keeps only the first `QUICK_SIZES` sizes for the three-way
+/// comparison (the full curve is the checked-in artifact).
 const QUICK_SIZES: usize = 2;
 /// Floor for the dense/revised deadline so tiny models never time out.
 const MIN_DEADLINE: Duration = Duration::from_secs(10);
 /// Dense/revised deadline = `DEADLINE_FACTOR × sparse seconds` (min
 /// clamped): enough headroom that the 10× gate is decided by measurement,
-/// not by the deadline itself.
+/// not by the deadline itself. Applied through the anchor size only.
 const DEADLINE_FACTOR: f64 = 12.0;
-/// The scaling gate at the largest size.
+/// Dense/revised deadline cap at the jumbo (post-anchor) sizes: their
+/// rows become capped lower bounds rather than hour-long reruns of a
+/// foregone conclusion.
+const JUMBO_DEADLINE: Duration = Duration::from_secs(60);
+/// Sparse-LU deadline at the jumbo sizes. The bench *fails* if sparse
+/// cannot certify inside this — that is the scaling claim under test.
+const SPARSE_JUMBO_DEADLINE: Duration = Duration::from_secs(1_800);
+/// The scaling gate at the anchor size.
 const MIN_SPEEDUP: f64 = 10.0;
+/// Quick-mode gate: measured anchor-size sparse `pivots_per_sec` must be
+/// at least this fraction of the checked-in reference.
+const QUICK_THROUGHPUT_FRACTION: f64 = 0.5;
 
 struct Measurement {
     variant: &'static str,
@@ -40,6 +63,19 @@ struct Measurement {
     iterations: usize,
     timed_out: bool,
     objective: Option<f64>,
+    /// Sparse-LU kernel counters (`None` for dense/revised and for
+    /// timed-out solves).
+    stats: Option<smo_lp::SolveStats>,
+}
+
+impl Measurement {
+    fn pivots_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.iterations as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 fn certified_solve(
@@ -47,12 +83,17 @@ fn certified_solve(
     variant: SimplexVariant,
     name: &'static str,
     deadline: Option<Duration>,
+    pricing: Pricing,
 ) -> Measurement {
     let budget = match deadline {
         Some(d) => SolveBudget::with_time_limit(d),
         None => SolveBudget::UNLIMITED,
     };
-    let policy = RecoveryPolicy { variant, budget };
+    let policy = RecoveryPolicy {
+        variant,
+        budget,
+        pricing,
+    };
     let start = Instant::now();
     match model.problem().solve_certified(&policy) {
         Ok(certified) => {
@@ -67,6 +108,7 @@ fn certified_solve(
                 iterations: certified.iterations(),
                 timed_out: false,
                 objective: certified.solution().objective(),
+                stats: certified.solution().stats().copied(),
             }
         }
         Err(LpError::Budget { iterations, .. }) => Measurement {
@@ -75,17 +117,46 @@ fn certified_solve(
             iterations,
             timed_out: true,
             objective: None,
+            stats: None,
         },
         Err(e) => panic!("{name}: certified solve failed: {e}"),
     }
 }
 
+fn build_model(latches: usize) -> TimingModel {
+    let config = DatapathConfig::with_latches(latches);
+    let circuit = pipelined_datapath(&config, 7);
+    TimingModel::build(&circuit).expect("model builds")
+}
+
+/// Pulls `"sparse_pivots_per_sec_10k": <number>` out of the checked-in
+/// curve without a JSON dependency (the writer below is hand-rolled too).
+fn checked_in_throughput(json: &str) -> Option<f64> {
+    let key = "\"sparse_pivots_per_sec_10k\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    // `--pricing devex|partial|bland` re-runs the curve under a different
+    // sparse-LU pricing rule (an A/B knob for kernel work; the checked-in
+    // artifact always uses the default).
+    let args: Vec<String> = std::env::args().collect();
+    let pricing = args
+        .iter()
+        .position(|a| a == "--pricing")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse::<Pricing>().expect("valid --pricing"))
+        .unwrap_or_default();
     smo_bench::header(if quick {
-        "Solver scaling, dense vs revised vs sparse-LU (quick: small sizes)"
+        "Solver scaling, dense vs revised vs sparse-LU (quick: small sizes + 10k-row throughput gate)"
     } else {
-        "Solver scaling, dense vs revised vs sparse-LU (to 10k+ rows)"
+        "Solver scaling, dense vs revised vs sparse-LU (to 50k+ rows)"
     });
 
     let sizes = if quick {
@@ -93,7 +164,7 @@ fn main() {
     } else {
         &SIZES[..]
     };
-    let widths = [8, 8, 10, 12, 10, 9, 10];
+    let widths = [8, 8, 10, 12, 10, 9, 10, 8, 10, 12];
     println!(
         "{}",
         smo_bench::row(
@@ -104,42 +175,84 @@ fn main() {
                 "seconds",
                 "iters",
                 "timeout",
+                "piv/s",
+                "refacs",
+                "eta-fill",
                 "objective"
             ],
             &widths
         )
     );
+    let print_row = |rows: usize, latches: usize, m: &Measurement| {
+        let (refacs, eta_fill) = m
+            .stats
+            .as_ref()
+            .map_or((String::new(), String::new()), |s| {
+                (s.refactorizations.to_string(), s.peak_eta_nnz.to_string())
+            });
+        println!(
+            "{}",
+            smo_bench::row(
+                &[
+                    &latches.to_string(),
+                    &rows.to_string(),
+                    m.variant,
+                    &format!("{:.3}", m.seconds),
+                    &m.iterations.to_string(),
+                    if m.timed_out { "yes" } else { "" },
+                    &format!("{:.0}", m.pivots_per_sec()),
+                    &refacs,
+                    &eta_fill,
+                    &m.objective.map_or(String::new(), |o| format!("{o:.4}")),
+                ],
+                &widths
+            )
+        );
+    };
 
     let mut curve: Vec<(usize, usize, Vec<Measurement>)> = Vec::new();
-    for &latches in sizes {
-        let config = DatapathConfig::with_latches(latches);
-        let circuit = pipelined_datapath(&config, 7);
-        let model = TimingModel::build(&circuit).expect("model builds");
+    for (s, &latches) in sizes.iter().enumerate() {
+        let jumbo = s > ANCHOR;
+        let model = build_model(latches);
         let rows = model.num_constraints();
 
         // Sparse first: it sets the honest deadline for the others.
-        let sparse = certified_solve(&model, SimplexVariant::SparseLu, "sparse-lu", None);
-        let deadline = Duration::from_secs_f64(sparse.seconds * DEADLINE_FACTOR).max(MIN_DEADLINE);
-        let revised = certified_solve(&model, SimplexVariant::Revised, "revised", Some(deadline));
-        let dense = certified_solve(&model, SimplexVariant::Dense, "dense", Some(deadline));
+        let sparse_deadline = jumbo.then_some(SPARSE_JUMBO_DEADLINE);
+        let sparse = certified_solve(
+            &model,
+            SimplexVariant::SparseLu,
+            "sparse-lu",
+            sparse_deadline,
+            pricing,
+        );
+        assert!(
+            !sparse.timed_out,
+            "sparse-lu timed out at {rows} rows ({latches} latches): the hypersparse \
+             kernels are supposed to carry this size inside {SPARSE_JUMBO_DEADLINE:?}"
+        );
+        let mut deadline =
+            Duration::from_secs_f64(sparse.seconds * DEADLINE_FACTOR).max(MIN_DEADLINE);
+        if jumbo {
+            deadline = deadline.min(JUMBO_DEADLINE);
+        }
+        let revised = certified_solve(
+            &model,
+            SimplexVariant::Revised,
+            "revised",
+            Some(deadline),
+            pricing,
+        );
+        let dense = certified_solve(
+            &model,
+            SimplexVariant::Dense,
+            "dense",
+            Some(deadline),
+            pricing,
+        );
 
         let all = vec![sparse, revised, dense];
         for m in &all {
-            println!(
-                "{}",
-                smo_bench::row(
-                    &[
-                        &circuit.num_latches().to_string(),
-                        &rows.to_string(),
-                        m.variant,
-                        &format!("{:.3}", m.seconds),
-                        &m.iterations.to_string(),
-                        if m.timed_out { "yes" } else { "" },
-                        &m.objective.map_or(String::new(), |o| format!("{o:.4}")),
-                    ],
-                    &widths
-                )
-            );
+            print_row(rows, latches, m);
         }
 
         // Any two variants that both finished must agree exactly (the
@@ -158,64 +271,110 @@ fn main() {
                 b.variant
             );
         }
-        curve.push((circuit.num_latches(), rows, all));
+        curve.push((latches, rows, all));
     }
 
-    let (_, last_rows, last) = curve.last().expect("at least one size");
-    let sparse_s = last[0].seconds;
-    let dense_s = last[2].seconds;
+    if quick {
+        // Sparse-only anchor-size solve: the pivots_per_sec tripwire.
+        let model = build_model(SIZES[ANCHOR]);
+        let rows = model.num_constraints();
+        let sparse = certified_solve(&model, SimplexVariant::SparseLu, "sparse-lu", None, pricing);
+        print_row(rows, SIZES[ANCHOR], &sparse);
+        let measured = sparse.pivots_per_sec();
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+        let reference = std::fs::read_to_string(path)
+            .ok()
+            .as_deref()
+            .and_then(checked_in_throughput);
+        match reference {
+            Some(reference) => {
+                let floor = reference * QUICK_THROUGHPUT_FRACTION;
+                println!();
+                println!(
+                    "10k-row sparse throughput: {measured:.0} pivots/s \
+                     (checked-in {reference:.0}, floor {floor:.0})"
+                );
+                assert!(
+                    measured >= floor,
+                    "sparse-LU throughput regression at {rows} rows: {measured:.0} pivots/s \
+                     is below {QUICK_THROUGHPUT_FRACTION}x the checked-in {reference:.0}"
+                );
+            }
+            None => println!("(no sparse_pivots_per_sec_10k in BENCH_scale.json; gate skipped)"),
+        }
+        println!("(quick mode: BENCH_scale.json left untouched)");
+        return;
+    }
+
+    let (_, anchor_rows, anchor) = &curve[ANCHOR];
+    let sparse_s = anchor[0].seconds;
+    let dense_s = anchor[2].seconds;
     let speedup = dense_s / sparse_s;
+    let sparse_pps_10k = anchor[0].pivots_per_sec();
     println!();
     println!(
-        "largest size ({last_rows} rows): sparse {sparse_s:.3}s vs dense {dense_s:.3}s{} -> {speedup:.1}x",
-        if last[2].timed_out {
+        "anchor size ({anchor_rows} rows): sparse {sparse_s:.3}s vs dense {dense_s:.3}s{} -> {speedup:.1}x",
+        if anchor[2].timed_out {
             " (deadline lower bound)"
         } else {
             ""
         }
     );
 
-    if quick {
-        println!("(quick mode: BENCH_scale.json left untouched)");
-    } else {
-        let mut sizes_json = String::new();
-        for (latches, rows, all) in &curve {
-            if !sizes_json.is_empty() {
-                sizes_json.push_str(",\n");
+    let mut sizes_json = String::new();
+    for (latches, rows, all) in &curve {
+        if !sizes_json.is_empty() {
+            sizes_json.push_str(",\n");
+        }
+        let mut variants = String::new();
+        for m in all {
+            if !variants.is_empty() {
+                variants.push_str(", ");
             }
-            let mut variants = String::new();
-            for m in all {
-                if !variants.is_empty() {
-                    variants.push_str(", ");
-                }
+            variants.push_str(&format!(
+                "\"{}\": {{\"seconds\": {:.3}, \"iterations\": {}, \"timed_out\": {}, \
+                 \"pivots_per_sec\": {:.1}",
+                m.variant,
+                m.seconds,
+                m.iterations,
+                m.timed_out,
+                m.pivots_per_sec()
+            ));
+            if let Some(st) = &m.stats {
                 variants.push_str(&format!(
-                    "\"{}\": {{\"seconds\": {:.3}, \"iterations\": {}, \"timed_out\": {}}}",
-                    m.variant, m.seconds, m.iterations, m.timed_out
+                    ", \"refactorizations\": {}, \"eta_fill\": {}, \"factor_nnz\": {}",
+                    st.refactorizations, st.peak_eta_nnz, st.factor_nnz
                 ));
             }
-            sizes_json.push_str(&format!(
-                "    {{\"latches\": {latches}, \"rows\": {rows}, {variants}}}"
-            ));
+            variants.push('}');
         }
-        let json = format!(
-            "{{\n  \"_schema\": \"rows-vs-seconds scaling curve on seeded pipelined datapaths \
-             (smo gen, seed 7); per size and variant one certified cycle-time LP solve; \
-             timed_out=true means the solve hit its deadline (max(10s, 12 x sparse seconds)) \
-             and seconds is the elapsed lower bound at abort, never an extrapolation; \
-             variants that finish must agree on verdict and objective to Tol::TIGHT; \
-             gate (single source of truth, like the speedup >= 2 gate in BENCH_sweep.json): \
-             at the largest size dense_seconds / sparse_seconds must stay >= {MIN_SPEEDUP}\",\
-             \n  \"seed\": 7,\n  \"sizes\": [\n{sizes_json}\n  ],\n  \
-             \"largest_speedup_dense_over_sparse\": {speedup:.2}\n}}\n"
-        );
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
-        std::fs::write(path, json).expect("write BENCH_scale.json");
-        println!("wrote {path}");
-
-        assert!(
-            speedup >= MIN_SPEEDUP,
-            "scaling regression: sparse-LU only {speedup:.1}x faster than dense at {last_rows} \
-             rows (gate: >= {MIN_SPEEDUP}x)"
-        );
+        sizes_json.push_str(&format!(
+            "    {{\"latches\": {latches}, \"rows\": {rows}, {variants}}}"
+        ));
     }
+    let json = format!(
+        "{{\n  \"_schema\": \"rows-vs-seconds scaling curve on seeded pipelined datapaths \
+         (smo gen, seed 7); per size and variant one certified cycle-time LP solve; \
+         timed_out=true means the solve hit its deadline (max(10s, 12 x sparse seconds), \
+         capped at 60s past the 10k-row anchor where dense/revised are pure lower bounds) \
+         and seconds is the elapsed lower bound at abort, never an extrapolation; \
+         variants that finish must agree on verdict and objective to Tol::TIGHT; \
+         eta_fill is the peak eta-file nonzero count between refactorizations; \
+         gate (single source of truth, like the speedup >= 2 gate in BENCH_sweep.json): \
+         at the anchor (10k-row) size dense_seconds / sparse_seconds must stay >= \
+         {MIN_SPEEDUP}, and quick mode re-measures sparse pivots_per_sec there against \
+         sparse_pivots_per_sec_10k\",\
+         \n  \"seed\": 7,\n  \"sizes\": [\n{sizes_json}\n  ],\n  \
+         \"largest_speedup_dense_over_sparse\": {speedup:.2},\n  \
+         \"sparse_pivots_per_sec_10k\": {sparse_pps_10k:.1}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(path, json).expect("write BENCH_scale.json");
+    println!("wrote {path}");
+
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "scaling regression: sparse-LU only {speedup:.1}x faster than dense at {anchor_rows} \
+         rows (gate: >= {MIN_SPEEDUP}x)"
+    );
 }

@@ -69,6 +69,12 @@ pub struct MlpOptions {
     /// behavior of earlier releases; the `smo` CLI passes
     /// [`Backend::Auto`].
     pub backend: Backend,
+    /// Simplex pricing strategy, honored by the sparse-LU variant on
+    /// every LP this solve runs (certified rungs included); the dense and
+    /// revised variants ignore it. All strategies give identical verdicts
+    /// and objectives — this only trades pivot-selection cost against
+    /// pivot count.
+    pub pricing: smo_lp::Pricing,
 }
 
 impl Default for MlpOptions {
@@ -81,6 +87,7 @@ impl Default for MlpOptions {
             certify: true,
             time_limit: None,
             backend: Backend::Lp,
+            pricing: smo_lp::Pricing::default(),
         }
     }
 }
@@ -102,6 +109,7 @@ impl MlpOptions {
         self.certify.then_some(smo_lp::RecoveryPolicy {
             variant: self.simplex,
             budget,
+            pricing: self.pricing,
         })
     }
 }
@@ -235,6 +243,7 @@ fn run_mlp(
             policy.as_ref(),
             warm.as_ref(),
             budget,
+            options.pricing,
             captured,
         )
     } else {
@@ -246,6 +255,7 @@ fn run_mlp(
             policy.as_ref(),
             warm.as_ref(),
             budget,
+            options.pricing,
             captured,
         )
     }
@@ -286,6 +296,7 @@ pub fn solve_model_canonical_with(
         None,
         None,
         smo_lp::SolveBudget::UNLIMITED,
+        smo_lp::Pricing::default(),
         None,
     )
 }
@@ -304,6 +315,7 @@ fn canonical_inner(
     policy: Option<&smo_lp::RecoveryPolicy>,
     warm: Option<&smo_lp::Basis>,
     budget: smo_lp::SolveBudget,
+    pricing: smo_lp::Pricing,
     captured: Option<&mut Option<smo_lp::Basis>>,
 ) -> Result<TimingSolution, TimingError> {
     let (first, mut certificates) = match policy {
@@ -311,7 +323,10 @@ fn canonical_inner(
             let (sol, cert) = model.solve_lp_certified_from_basis(pol, warm)?;
             (sol, vec![cert])
         }
-        None => (model.solve_lp_budgeted(variant, warm, budget)?, Vec::new()),
+        None => (
+            model.solve_lp_budgeted(variant, warm, budget, pricing)?,
+            Vec::new(),
+        ),
     };
     if let Some(slot) = captured {
         *slot = first.basis().cloned();
@@ -331,7 +346,7 @@ fn canonical_inner(
         p.minimize(secondary);
     }
     match model_inner(
-        circuit, &refined, update, variant, policy, None, budget, None,
+        circuit, &refined, update, variant, policy, None, budget, pricing, None,
     ) {
         Ok(mut solution) => {
             solution.num_constraints = model.num_constraints();
@@ -349,9 +364,9 @@ fn canonical_inner(
         // Farkas check rightly refuses to confirm a round-off
         // infeasibility), so that exhaustion gets the same fallback.
         Err(TimingError::Infeasible { .. })
-        | Err(TimingError::Lp(smo_lp::LpError::CertificationFailed { .. })) => {
-            model_inner(circuit, model, update, variant, policy, warm, budget, None)
-        }
+        | Err(TimingError::Lp(smo_lp::LpError::CertificationFailed { .. })) => model_inner(
+            circuit, model, update, variant, policy, warm, budget, pricing, None,
+        ),
         Err(e) => Err(e),
     }
 }
@@ -390,6 +405,7 @@ pub fn solve_model_with(
         None,
         None,
         smo_lp::SolveBudget::UNLIMITED,
+        smo_lp::Pricing::default(),
         None,
     )
 }
@@ -437,6 +453,7 @@ fn model_inner(
     policy: Option<&smo_lp::RecoveryPolicy>,
     warm: Option<&smo_lp::Basis>,
     budget: smo_lp::SolveBudget,
+    pricing: smo_lp::Pricing,
     captured: Option<&mut Option<smo_lp::Basis>>,
 ) -> Result<TimingSolution, TimingError> {
     // Step 1: LP.
@@ -445,7 +462,10 @@ fn model_inner(
             let (sol, cert) = model.solve_lp_certified_from_basis(pol, warm)?;
             (sol, vec![cert])
         }
-        None => (model.solve_lp_budgeted(variant, warm, budget)?, Vec::new()),
+        None => (
+            model.solve_lp_budgeted(variant, warm, budget, pricing)?,
+            Vec::new(),
+        ),
     };
     if let Some(slot) = captured {
         *slot = lp.basis().cloned();

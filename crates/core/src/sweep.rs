@@ -94,6 +94,10 @@ pub struct SweepOptions {
     /// plain warm solve. Slower; every reported optimum is then
     /// independently KKT-checked against raw problem data.
     pub certify: bool,
+    /// Simplex pricing strategy for every solve in the sweep, honored by
+    /// the sparse-LU variant only (the default revised variant ignores
+    /// it). Identical verdicts and optima under every strategy.
+    pub pricing: smo_lp::Pricing,
 }
 
 impl Default for SweepOptions {
@@ -105,6 +109,7 @@ impl Default for SweepOptions {
             jobs: 1,
             variant: SimplexVariant::Revised,
             certify: false,
+            pricing: smo_lp::Pricing::default(),
         }
     }
 }
@@ -410,13 +415,21 @@ fn run_one(
     let solved = if options.certify {
         let policy = RecoveryPolicy {
             variant: options.variant,
+            pricing: options.pricing,
             ..RecoveryPolicy::default()
         };
         model
             .solve_lp_certified_from_basis(&policy, Some(basis))
             .map(|(sol, _cert)| sol)
-    } else {
+    } else if options.pricing == smo_lp::Pricing::default() {
         model.solve_lp_from_basis(options.variant, basis)
+    } else {
+        model.solve_lp_budgeted(
+            options.variant,
+            Some(basis),
+            smo_lp::SolveBudget::UNLIMITED,
+            options.pricing,
+        )
     };
     // Restore before propagating any error: the cached model must hold the
     // exact base RHS whenever run_one returns.

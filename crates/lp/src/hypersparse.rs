@@ -1,0 +1,579 @@
+//! Hypersparse triangular-solve kernels for the sparse-LU simplex.
+//!
+//! The PR-9 kernels scattered every FTRAN/BTRAN through a dense
+//! `vec![0.0; m]`, so each of the ~4 solves per pivot cost `O(m)` even
+//! when the result had a handful of nonzeros — the dominant per-iteration
+//! cost at 10k+ rows. This module replaces them with the Gilbert–Peierls
+//! discipline: a **symbolic phase** computes the result's nonzero pattern
+//! by graph reachability over the factor dependency graphs (in
+//! elimination-step space), and the **numeric phase** then touches only
+//! the reached steps, so triangular-solve cost tracks the *result's*
+//! nonzeros instead of the matrix dimension.
+//!
+//! Two pieces:
+//!
+//! * [`ScatterVec`] — an indexed sparse accumulator: a dense value array
+//!   (exactly zero wherever untouched), a mark array, and a touched-index
+//!   stack, giving `O(1)` random reads/writes and `O(nnz)` iteration and
+//!   reset. This is the workspace shape every sparse-simplex code settles
+//!   on; it is what makes "skip the zeros" safe rather than heuristic.
+//! * [`LuWorkspace`] — the reusable per-core scratch (two step-space
+//!   scatters plus the reachability stack), so the hot loop performs no
+//!   per-solve allocation.
+//!
+//! The numeric phases visit reached steps in ascending (forward
+//! substitution) or descending (backward substitution) elimination order
+//! and accumulate entries in the same order as the dense loops they
+//! replace, so results are bit-identical to the PR-9 kernels — the
+//! scale-differential suite relies on that.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+// Index-heavy kernels: range loops are the clearest form here.
+#![allow(clippy::needless_range_loop)]
+
+/// An indexed sparse accumulator over a fixed index range `0..len`.
+///
+/// Invariant: `values[i] == 0.0` for every `i` not in `touched`. Reading
+/// an untouched slot is therefore always valid and always yields exactly
+/// `0.0`, which is what lets the numeric phases read "maybe zero"
+/// operands without a membership test.
+#[derive(Debug, Clone, Default)]
+pub struct ScatterVec {
+    values: Vec<f64>,
+    mark: Vec<bool>,
+    touched: Vec<usize>,
+}
+
+impl ScatterVec {
+    /// A scatter vector over indices `0..len`, all zero.
+    pub fn new(len: usize) -> Self {
+        ScatterVec {
+            values: vec![0.0; len],
+            mark: vec![false; len],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Index-range length (not the nonzero count).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no slot has been touched since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Grows (or keeps) the index range; only used when a workspace is
+    /// shared across factorizations of different sizes.
+    pub fn ensure_len(&mut self, len: usize) {
+        if self.values.len() < len {
+            self.values.resize(len, 0.0);
+            self.mark.resize(len, false);
+        }
+    }
+
+    /// Current value at `i` (exactly `0.0` when untouched).
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// The dense value array — valid to read at any index, zero wherever
+    /// untouched. Lets `O(nnz)` dot products index it directly.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The touched indices, in insertion order unless
+    /// [`ScatterVec::sort_touched`] was called. May include slots whose
+    /// value cancelled back to exactly zero.
+    #[inline]
+    pub fn touched(&self) -> &[usize] {
+        &self.touched
+    }
+
+    /// Writes `v` at `i`, marking the slot. Writing `0.0` to an untouched
+    /// slot is a no-op (preserves the invariant cheaply).
+    #[inline]
+    pub fn set(&mut self, i: usize, v: f64) {
+        if !self.mark[i] {
+            if v == 0.0 {
+                return;
+            }
+            self.mark[i] = true;
+            self.touched.push(i);
+        }
+        self.values[i] = v;
+    }
+
+    /// Adds `v` at `i`, marking the slot.
+    #[inline]
+    pub fn add(&mut self, i: usize, v: f64) {
+        if v == 0.0 {
+            return;
+        }
+        if !self.mark[i] {
+            self.mark[i] = true;
+            self.touched.push(i);
+        }
+        self.values[i] += v;
+    }
+
+    /// Sorts the touched list ascending, so iteration visits slots in
+    /// index order — the order the dense loops used, which keeps
+    /// tie-breaking in the ratio test and eta-entry order deterministic
+    /// and identical to the dense path.
+    ///
+    /// Hybrid: past 1/8 density a comparison sort costs more than a linear
+    /// scan of the mark array, so the list is rebuilt by scanning instead
+    /// — same membership, same ascending order, `O(len)` instead of
+    /// `O(nnz log nnz)`. Simplex directions on chain-structured bases are
+    /// routinely half-dense, so this branch is hot, not a corner case.
+    pub fn sort_touched(&mut self) {
+        if self.touched.len() * 8 > self.values.len() {
+            self.touched.clear();
+            for i in 0..self.mark.len() {
+                if self.mark[i] {
+                    self.touched.push(i);
+                }
+            }
+        } else {
+            self.touched.sort_unstable();
+        }
+    }
+
+    /// Resets to all-zero in `O(touched)`.
+    pub fn clear(&mut self) {
+        for &i in &self.touched {
+            self.values[i] = 0.0;
+            self.mark[i] = false;
+        }
+        self.touched.clear();
+    }
+
+    /// The nonzero entries as `(index, value)` pairs, in touched order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.touched.iter().filter_map(move |&i| {
+            let v = self.values[i];
+            (v != 0.0).then_some((i, v))
+        })
+    }
+
+    /// Densifies into a fresh `Vec` (compatibility wrapper paths only —
+    /// the hot loops stay sparse).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.values.len()];
+        for &i in &self.touched {
+            out[i] = self.values[i];
+        }
+        out
+    }
+
+    /// Loads a sparse `(index, value)` list (replacing current contents).
+    pub fn load(&mut self, entries: &[(usize, f64)]) {
+        self.clear();
+        for &(i, v) in entries {
+            self.add(i, v);
+        }
+    }
+}
+
+/// Reachability scratch for the symbolic phases: an explicit DFS stack
+/// (the factor graphs can be `m` deep — recursion would overflow), a
+/// visited-mark array, and the output list of reached steps.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReachSet {
+    visited: Vec<bool>,
+    stack: Vec<usize>,
+    pub(crate) list: Vec<usize>,
+}
+
+impl ReachSet {
+    pub(crate) fn new(len: usize) -> Self {
+        ReachSet {
+            visited: vec![false; len],
+            stack: Vec::new(),
+            list: Vec::new(),
+        }
+    }
+
+    pub(crate) fn ensure_len(&mut self, len: usize) {
+        if self.visited.len() < len {
+            self.visited.resize(len, false);
+        }
+    }
+
+    /// Clears the previous reach in `O(|list|)`.
+    pub(crate) fn clear(&mut self) {
+        for &i in &self.list {
+            self.visited[i] = false;
+        }
+        self.list.clear();
+        self.stack.clear();
+    }
+
+    /// Seeds the DFS with `node` if not already visited.
+    #[inline]
+    pub(crate) fn seed(&mut self, node: usize) {
+        if !self.visited[node] {
+            self.visited[node] = true;
+            self.stack.push(node);
+            self.list.push(node);
+        }
+    }
+
+    /// Runs the DFS to exhaustion, where `neighbors(k, f)` calls `f` on
+    /// every successor of `k`. On return, `list` holds every node
+    /// reachable from the seeds (seeds included), unordered.
+    pub(crate) fn run<N>(&mut self, mut neighbors: N)
+    where
+        N: FnMut(usize, &mut dyn FnMut(usize)),
+    {
+        while let Some(k) = self.stack.pop() {
+            // Split borrows: collect new nodes through a closure that only
+            // touches `visited`/`list`, then push onto the stack.
+            let start = self.list.len();
+            let visited = &mut self.visited;
+            let list = &mut self.list;
+            neighbors(k, &mut |next: usize| {
+                if !visited[next] {
+                    visited[next] = true;
+                    list.push(next);
+                }
+            });
+            for idx in start..self.list.len() {
+                self.stack.push(self.list[idx]);
+            }
+        }
+    }
+
+    /// Sorts the reached list ascending (forward passes) — callers needing
+    /// descending order iterate it in reverse.
+    ///
+    /// Hybrid like [`ScatterVec::sort_touched`]: when the reach covers
+    /// more than 1/8 of `len` nodes, rebuild the list by scanning the
+    /// visited marks (`O(len)`) instead of sorting (`O(n log n)`) — on a
+    /// dense reach the sort is what turns a triangular solve superlinear.
+    pub(crate) fn sort(&mut self, len: usize) {
+        if self.list.len() * 8 > len {
+            self.list.clear();
+            for k in 0..len.min(self.visited.len()) {
+                if self.visited[k] {
+                    self.list.push(k);
+                }
+            }
+        } else {
+            self.list.sort_unstable();
+        }
+    }
+}
+
+/// Reusable scratch for the hypersparse FTRAN/BTRAN kernels: no per-solve
+/// allocation in the pivot loop. One per [`SparseCore`]
+/// (crate-internal); the dense compatibility wrappers build a throwaway
+/// one per call.
+#[derive(Debug, Clone, Default)]
+pub struct LuWorkspace {
+    /// Row/position-space scatter (FTRAN's L-pass accumulator, BTRAN's
+    /// eta/Uᵀ accumulator).
+    pub(crate) work: ScatterVec,
+    /// Step-space scatter (BTRAN's `z`).
+    pub(crate) steps: ScatterVec,
+    /// Reachability scratch shared by both symbolic phases of one solve.
+    pub(crate) reach: ReachSet,
+    /// Second reach set: FTRAN/BTRAN each run two symbolic phases whose
+    /// reaches must coexist.
+    pub(crate) reach2: ReachSet,
+}
+
+impl LuWorkspace {
+    /// Workspace for factorizations of dimension `m`.
+    pub fn new(m: usize) -> Self {
+        LuWorkspace {
+            work: ScatterVec::new(m),
+            steps: ScatterVec::new(m),
+            reach: ReachSet::new(m),
+            reach2: ReachSet::new(m),
+        }
+    }
+
+    /// Grows the workspace to dimension `m` if needed.
+    pub fn ensure(&mut self, m: usize) {
+        self.work.ensure_len(m);
+        self.steps.ensure_len(m);
+        self.reach.ensure_len(m);
+        self.reach2.ensure_len(m);
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.work.clear();
+        self.steps.clear();
+        self.reach.clear();
+        self.reach2.clear();
+    }
+}
+
+use crate::error::LpError;
+use crate::sparse::LuFactors;
+
+impl LuFactors {
+    /// Hypersparse FTRAN: solves `B·x = b` where `b` is a sparse
+    /// `(original row, value)` list and the result lands in the
+    /// position-indexed scatter `x` with its touched list sorted
+    /// ascending. Eta updates are applied, so the result is for the
+    /// current (updated) basis. Produces the same values as the dense
+    /// [`LuFactors::solve`] loop — the symbolic reach is a superset of the
+    /// true nonzero pattern, and untouched scatter slots read as exact
+    /// zero, so skipped steps contribute exactly what the dense pass
+    /// computed for them: nothing.
+    pub fn ftran_scatter(&self, b: &[(usize, f64)], ws: &mut LuWorkspace, x: &mut ScatterVec) {
+        ws.ensure(self.m);
+        ws.clear();
+        x.ensure_len(self.m);
+        x.clear();
+
+        // --- L forward pass (row space) ------------------------------
+        // Step k reads its pivot row and scatters into later rows, so
+        // nonzeros propagate along lower[k] edges mapped to step indices.
+        for &(r, v) in b {
+            ws.work.add(r, v);
+            ws.reach.seed(self.row_step[r]);
+        }
+        let lower = &self.lower;
+        let row_step = &self.row_step;
+        ws.reach.run(|k, f| {
+            for &(r, _) in &lower[k] {
+                f(row_step[r]);
+            }
+        });
+        ws.reach.sort(self.m);
+        for &k in &ws.reach.list {
+            let w = ws.work.get(self.prow[k]);
+            if w != 0.0 {
+                for &(r, mult) in &self.lower[k] {
+                    ws.work.add(r, -mult * w);
+                }
+            }
+        }
+
+        // --- U backward pass (row space -> position space) -----------
+        // Step k's result depends on later steps through upper[k]; the
+        // dirty set is the reverse-reach from the seeds along u_rev.
+        for &r in ws.work.touched() {
+            if ws.work.get(r) != 0.0 {
+                ws.reach2.seed(self.row_step[r]);
+            }
+        }
+        let u_rev = &self.u_rev;
+        ws.reach2.run(|k, f| {
+            for &k2 in &u_rev[k] {
+                f(k2);
+            }
+        });
+        ws.reach2.sort(self.m);
+        for &k in ws.reach2.list.iter().rev() {
+            let mut t = ws.work.get(self.prow[k]);
+            for &(pos, v) in &self.upper[k] {
+                t -= v * x.get(pos);
+            }
+            x.set(self.pcol[k], t / self.pivots[k]);
+        }
+
+        // --- eta file, in order (position space) ---------------------
+        for eta in &self.etas {
+            let xr = x.get(eta.pos) / eta.pivot;
+            if xr != 0.0 {
+                for &(i, d) in &eta.entries {
+                    x.add(i, -d * xr);
+                }
+            }
+            // Unconditional like the dense loop: x[pos] may underflow to
+            // zero while having been nonzero (huge pivot).
+            x.set(eta.pos, xr);
+        }
+        x.sort_touched();
+    }
+
+    /// Hypersparse BTRAN: solves `Bᵀ·y = c` where `c` is a sparse
+    /// `(basis position, value)` list and the result lands in the
+    /// row-indexed scatter `y` with its touched list sorted ascending.
+    /// The transposed eta pass is inherently `O(eta_nnz)` — bounding it is
+    /// the refactorization trigger's job — but both triangular passes are
+    /// reachability-pruned like the FTRAN.
+    pub fn btran_scatter(&self, c: &[(usize, f64)], ws: &mut LuWorkspace, y: &mut ScatterVec) {
+        ws.ensure(self.m);
+        ws.clear();
+        y.ensure_len(self.m);
+        y.clear();
+
+        // --- transposed eta file, reverse order (position space) -----
+        for &(pos, v) in c {
+            ws.work.add(pos, v);
+        }
+        for eta in self.etas.iter().rev() {
+            let mut t = ws.work.get(eta.pos);
+            for &(i, d) in &eta.entries {
+                t -= ws.work.get(i) * d;
+            }
+            ws.work.set(eta.pos, t / eta.pivot);
+        }
+
+        // --- Uᵀ forward pass (position space -> step space) ----------
+        for &pos in ws.work.touched() {
+            if ws.work.get(pos) != 0.0 {
+                ws.reach.seed(self.col_step[pos]);
+            }
+        }
+        let upper = &self.upper;
+        let col_step = &self.col_step;
+        ws.reach.run(|k, f| {
+            for &(pos, _) in &upper[k] {
+                f(col_step[pos]);
+            }
+        });
+        ws.reach.sort(self.m);
+        for &k in &ws.reach.list {
+            let zk = ws.work.get(self.pcol[k]) / self.pivots[k];
+            ws.steps.set(k, zk);
+            if zk != 0.0 {
+                for &(pos, v) in &self.upper[k] {
+                    ws.work.add(pos, -v * zk);
+                }
+            }
+        }
+
+        // --- Lᵀ backward pass (step space, in place) -----------------
+        // w[k] depends on w at later steps via lower[k]; dirty set is the
+        // reverse-reach from nonzero z along l_rev. In-place is safe:
+        // step k's own slot is read exactly once, at step k.
+        for &k in ws.steps.touched() {
+            if ws.steps.get(k) != 0.0 {
+                ws.reach2.seed(k);
+            }
+        }
+        let l_rev = &self.l_rev;
+        ws.reach2.run(|k, f| {
+            for &k2 in &l_rev[k] {
+                f(k2);
+            }
+        });
+        ws.reach2.sort(self.m);
+        for &k in ws.reach2.list.iter().rev() {
+            let mut t = ws.steps.get(k);
+            for &(r, mult) in &self.lower[k] {
+                t -= mult * ws.steps.get(self.row_step[r]);
+            }
+            ws.steps.set(k, t);
+        }
+
+        // --- scatter w back to original rows -------------------------
+        for &k in ws.steps.touched() {
+            let v = ws.steps.get(k);
+            if v != 0.0 {
+                y.set(self.prow[k], v);
+            }
+        }
+        y.sort_touched();
+    }
+
+    /// [`LuFactors::replace_column_with_direction`] taking the FTRAN
+    /// direction as a scatter with a **sorted** touched list (as the
+    /// kernels produce), so eta entries are harvested in `O(nnz(d))`.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Numerical`] when `|d[pos]|` is ~0; the factors are left
+    /// unchanged in that case.
+    pub fn replace_column_scatter(
+        &mut self,
+        pos: usize,
+        direction: &ScatterVec,
+    ) -> Result<(), LpError> {
+        debug_assert!(direction.touched().windows(2).all(|w| w[0] < w[1]));
+        let pivot = direction.get(pos);
+        if pivot.abs() < 1e-12 {
+            return Err(LpError::Numerical {
+                context: "sparse LU update (singular replacement column)".into(),
+            });
+        }
+        let entries: Vec<(usize, f64)> = direction
+            .iter_nonzero()
+            .filter(|&(i, _)| i != pos)
+            .collect();
+        self.push_eta(pos, pivot, entries);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_invariant_holds_through_set_add_clear() {
+        let mut s = ScatterVec::new(5);
+        assert!(s.is_empty());
+        s.set(3, 0.0); // no-op on untouched slot
+        assert!(s.is_empty());
+        s.add(1, 2.0);
+        s.add(1, -2.0); // cancels, stays touched
+        s.set(4, 7.0);
+        assert_eq!(s.get(1), 0.0);
+        assert_eq!(s.get(4), 7.0);
+        assert_eq!(s.get(0), 0.0);
+        let nz: Vec<_> = s.iter_nonzero().collect();
+        assert_eq!(nz, vec![(4, 7.0)]);
+        assert_eq!(s.to_dense(), vec![0.0, 0.0, 0.0, 0.0, 7.0]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.get(4), 0.0);
+    }
+
+    #[test]
+    fn scatter_sort_orders_touched() {
+        let mut s = ScatterVec::new(6);
+        for &i in &[5, 2, 4, 0] {
+            s.set(i, 1.0 + i as f64);
+        }
+        s.sort_touched();
+        assert_eq!(s.touched(), &[0, 2, 4, 5]);
+    }
+
+    #[test]
+    fn reach_explores_a_chain_iteratively() {
+        // 0 -> 1 -> 2 -> ... -> n-1: would overflow a recursive DFS for
+        // large n; the explicit stack must handle it.
+        let n = 100_000;
+        let mut r = ReachSet::new(n);
+        r.seed(0);
+        r.run(|k, f| {
+            if k + 1 < n {
+                f(k + 1);
+            }
+        });
+        assert_eq!(r.list.len(), n);
+        r.sort(n);
+        assert_eq!(r.list[0], 0);
+        assert_eq!(r.list[n - 1], n - 1);
+        r.clear();
+        assert!(r.list.is_empty());
+    }
+
+    #[test]
+    fn reach_handles_diamonds_without_duplicates() {
+        //   0 -> {1,2} -> 3
+        let adj = [vec![1usize, 2], vec![3], vec![3], vec![]];
+        let mut r = ReachSet::new(4);
+        r.seed(0);
+        r.run(|k, f| {
+            for &n in &adj[k] {
+                f(n);
+            }
+        });
+        r.sort(4);
+        assert_eq!(r.list, vec![0, 1, 2, 3]);
+    }
+}

@@ -76,9 +76,11 @@ mod error;
 mod export;
 mod expr;
 mod graph;
+mod hypersparse;
 mod iis;
 mod parametric;
 mod presolve;
+mod pricing;
 mod problem;
 mod recover;
 mod revised;
@@ -97,12 +99,14 @@ pub use graph::{
     classify, AffineBound, Classification, DifferenceSystem, FixedParamOutcome, GraphInfeasibility,
     MinParamOutcome, NegativeCycle, ParamLowerWitness, RowClass, VarImage,
 };
+pub use hypersparse::{LuWorkspace, ScatterVec};
 pub use iis::{certifies_infeasibility, extract_iis, Iis};
 pub use parametric::{parametric_objective, parametric_rhs, ParametricCurve, ParametricSegment};
 pub use presolve::{PresolveOptions, PresolveStats, Presolved, RowFate, VarFate};
+pub use pricing::Pricing;
 pub use problem::{ConstraintId, Objective, Problem, Sense, SimplexVariant};
 pub use recover::{CertifiedSolution, RecoveryPolicy, RecoveryStep, SolveBudget};
-pub use solution::{OptimalSolution, Solution, Status};
+pub use solution::{OptimalSolution, Solution, SolveStats, Status};
 pub use sparse::LuFactors;
 pub use tol::Tol;
 pub use verify::Certificate;

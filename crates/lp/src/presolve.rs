@@ -268,6 +268,7 @@ impl Presolved {
                 iterations: reduced.iterations,
                 farkas: None,
                 basis: None,
+                stats: None,
             };
         }
 
@@ -377,6 +378,7 @@ impl Presolved {
             // rows; postsolved solutions are not warm-start sources.
             farkas: None,
             basis: None,
+            stats: None,
         }
     }
 }
@@ -595,6 +597,7 @@ impl Problem {
                 iterations: 0,
                 farkas: None,
                 basis: None,
+                stats: None,
             };
             return Ok(pre.postsolve(&empty));
         }

@@ -305,11 +305,28 @@ impl Problem {
         variant: SimplexVariant,
         budget: crate::recover::SolveBudget,
     ) -> Result<Solution, LpError> {
+        self.solve_with_options(variant, budget, crate::Pricing::default())
+    }
+
+    /// [`Problem::solve_with_budget`] with an explicit pricing strategy.
+    /// Pricing is honored by the sparse-LU variant; the dense and revised
+    /// variants price their full tableau rows by construction and ignore
+    /// it. Every strategy yields the same verdict and optimum.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve_with_budget`].
+    pub fn solve_with_options(
+        &self,
+        variant: SimplexVariant,
+        budget: crate::recover::SolveBudget,
+        pricing: crate::Pricing,
+    ) -> Result<Solution, LpError> {
         self.validate()?;
         match variant {
             SimplexVariant::Dense => simplex::solve_budgeted(self, budget),
             SimplexVariant::Revised => revised::solve_budgeted(self, budget),
-            SimplexVariant::SparseLu => crate::sparse::solve_budgeted(self, budget),
+            SimplexVariant::SparseLu => crate::sparse::solve_budgeted(self, budget, pricing),
         }
     }
 
@@ -358,12 +375,28 @@ impl Problem {
         basis: &crate::Basis,
         budget: crate::recover::SolveBudget,
     ) -> Result<Solution, LpError> {
+        self.solve_from_basis_with_options(variant, basis, budget, crate::Pricing::default())
+    }
+
+    /// [`Problem::solve_from_basis_with_budget`] with an explicit pricing
+    /// strategy (see [`Problem::solve_with_options`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve_with_budget`].
+    pub fn solve_from_basis_with_options(
+        &self,
+        variant: SimplexVariant,
+        basis: &crate::Basis,
+        budget: crate::recover::SolveBudget,
+        pricing: crate::Pricing,
+    ) -> Result<Solution, LpError> {
         self.validate()?;
         match variant {
             SimplexVariant::Dense => simplex::solve_from_basis_budgeted(self, basis, budget),
             SimplexVariant::Revised => revised::solve_from_basis_budgeted(self, basis, budget),
             SimplexVariant::SparseLu => {
-                crate::sparse::solve_from_basis_budgeted(self, basis, budget)
+                crate::sparse::solve_from_basis_budgeted(self, basis, budget, pricing)
             }
         }
     }

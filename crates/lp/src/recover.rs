@@ -143,6 +143,9 @@ pub struct RecoveryPolicy {
     /// Budget shared across all rungs. A `deadline` bounds the whole
     /// ladder; `max_iterations` bounds each individual solve.
     pub budget: SolveBudget,
+    /// Pricing strategy, honored by the sparse-LU variant on every rung
+    /// (the dense/revised variants ignore it).
+    pub pricing: crate::Pricing,
 }
 
 impl RecoveryPolicy {
@@ -151,6 +154,7 @@ impl RecoveryPolicy {
         RecoveryPolicy {
             variant: SimplexVariant::default(),
             budget: SolveBudget::with_time_limit(limit),
+            pricing: crate::Pricing::default(),
         }
     }
 }
@@ -232,6 +236,7 @@ fn refine(
     candidate: &Solution,
     variant: SimplexVariant,
     budget: SolveBudget,
+    pricing: crate::Pricing,
 ) -> Result<Solution, LpError> {
     let xh = &candidate.values;
     if xh.len() != p.vars.len() || xh.iter().any(|v| !v.is_finite()) {
@@ -266,7 +271,7 @@ fn refine(
         r.rhs = alpha * (r.rhs - r.expr.eval(xh));
     }
 
-    let delta = shifted.solve_with_budget(variant, budget)?;
+    let delta = shifted.solve_with_options(variant, budget, pricing)?;
     if delta.status() != Status::Optimal {
         // The original was (claimed) optimal; a non-optimal correction
         // means the candidate was far off. Report rather than guess.
@@ -338,6 +343,7 @@ impl Problem {
     ) -> Result<CertifiedSolution, LpError> {
         let start = Instant::now();
         let budget = policy.budget;
+        let pricing = policy.pricing;
         let mut steps: Vec<RecoveryStep> = Vec::new();
         let mut iterations = 0usize;
         // Best failed certificate (for the final error) and best optimal
@@ -362,19 +368,19 @@ impl Problem {
             let attempt: RungResult = match rung {
                 RecoveryStep::WarmStart(v) => {
                     let b = basis.expect("warm rung only scheduled with a basis");
-                    self.solve_from_basis_with_budget(v, b, budget)
+                    self.solve_from_basis_with_options(v, b, budget, pricing)
                 }
                 RecoveryStep::Initial(v) | RecoveryStep::AlternateVariant(v) => {
-                    self.solve_with_budget(v, budget)
+                    self.solve_with_options(v, budget, pricing)
                 }
                 RecoveryStep::Equilibrated(v) => {
                     let (scaled, eq) = equilibrate(self);
                     scaled
-                        .solve_with_budget(v, budget)
+                        .solve_with_options(v, budget, pricing)
                         .map(|s| eq.unscale(self, &s))
                 }
                 RecoveryStep::Refined(v) => match candidate.as_ref() {
-                    Some(c) => refine(self, c, v, budget),
+                    Some(c) => refine(self, c, v, budget, pricing),
                     None => Err(LpError::Numerical {
                         context: "refinement: no optimal candidate to refine".into(),
                     }),
@@ -539,6 +545,7 @@ mod tests {
         let policy = RecoveryPolicy {
             variant: SimplexVariant::Dense,
             budget: SolveBudget::with_max_iterations(0),
+            ..Default::default()
         };
         match p.solve_certified(&policy) {
             Err(LpError::Budget { timed_out, .. }) => assert!(!timed_out),
@@ -555,6 +562,7 @@ mod tests {
                 max_iterations: None,
                 deadline: Some(Instant::now()),
             },
+            ..Default::default()
         };
         match p.solve_certified(&policy) {
             Err(LpError::Budget { timed_out, .. }) => assert!(timed_out),
@@ -575,6 +583,7 @@ mod tests {
             &candidate,
             SimplexVariant::Dense,
             SolveBudget::UNLIMITED,
+            crate::Pricing::default(),
         )
         .expect("refines");
         assert!(refined.certify(&p).is_valid(), "{}", refined.certify(&p));

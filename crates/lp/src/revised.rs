@@ -449,6 +449,7 @@ fn solve_inner(
             iterations: core.iterations,
             farkas,
             basis: None,
+            stats: None,
         });
     }
     package_optimal(p, &skeleton, &core)
@@ -508,6 +509,7 @@ fn package_optimal(
         iterations: core.iterations,
         farkas: None,
         basis: Some(snapshot),
+        stats: None,
     })
 }
 

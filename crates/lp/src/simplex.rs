@@ -671,6 +671,7 @@ fn package_optimal(p: &Problem, t: &Tableau) -> Solution {
         iterations: t.iterations,
         farkas: None,
         basis: Some(t.capture_basis()),
+        stats: None,
     }
 }
 
@@ -692,6 +693,7 @@ fn finish_solve(p: &Problem, mut t: Tableau) -> Result<(Solution, Option<Tableau
             farkas: (status == Status::Infeasible)
                 .then(|| t.map_feasibility_duals(&t.phase1_duals())),
             basis: None,
+            stats: None,
         },
     };
     let keep = solution.status == Status::Optimal;

@@ -45,6 +45,28 @@ pub struct Solution {
     pub(crate) iterations: usize,
     pub(crate) farkas: Option<Vec<f64>>,
     pub(crate) basis: Option<Basis>,
+    /// Factorization-kernel counters; only the sparse-LU variant fills
+    /// these in (`#[serde(default)]` keeps old serialized solutions
+    /// readable).
+    #[serde(default)]
+    pub(crate) stats: Option<SolveStats>,
+}
+
+/// Factorization and update counters from a sparse-LU solve, for
+/// attributing where the time went (exposed per variant in
+/// `BENCH_scale.json`). `None` on the dense/revised variants, which have
+/// no eta file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Fresh basis factorizations after the initial one.
+    pub refactorizations: usize,
+    /// Total eta nonzeros appended across the whole solve (the measured
+    /// update fill the fill-aware trigger bounds).
+    pub eta_nnz_total: usize,
+    /// Largest eta-file fill observed between refactorizations.
+    pub peak_eta_nnz: usize,
+    /// `nnz(L+U)` of the final factorization.
+    pub factor_nnz: usize,
 }
 
 impl Solution {
@@ -94,6 +116,12 @@ impl Solution {
     /// map back onto the original problem's standard form.
     pub fn basis(&self) -> Option<&Basis> {
         self.basis.as_ref()
+    }
+
+    /// Sparse-LU kernel counters (refactorizations, eta fill) for this
+    /// solve; `None` under the dense and revised variants.
+    pub fn stats(&self) -> Option<&SolveStats> {
+        self.stats.as_ref()
     }
 
     /// Converts into an [`OptimalSolution`], failing if the status is not
@@ -251,6 +279,7 @@ mod tests {
             iterations: 3,
             farkas: None,
             basis: None,
+            stats: None,
         };
         let err = s.into_optimal().unwrap_err();
         assert_eq!(
@@ -273,6 +302,7 @@ mod tests {
             iterations: 3,
             farkas: Some(vec![-1.0, 0.0, 2.0]),
             basis: None,
+            stats: None,
         };
         assert_eq!(
             s.to_string(),

@@ -42,18 +42,36 @@
 
 use crate::basis::{Basis, BasisEntry};
 use crate::error::LpError;
+use crate::hypersparse::{LuWorkspace, ScatterVec};
+use crate::pricing::{PartialPricer, Pricing};
 use crate::problem::{Objective, Problem, Sense};
 use crate::simplex::ColKind;
-use crate::solution::{Solution, Status};
+use crate::solution::{Solution, SolveStats, Status};
 use crate::EPS;
 use std::sync::OnceLock;
 
-/// Refactorize once the eta file reaches this many updates (see also the
-/// fill bound in [`SparseCore::eta_budget_exceeded`]). Much shorter than
-/// the revised variant's interval: a sparse refactorization is `O(nnz)`
-/// rather than `O(m³)`, so keeping the eta file short is cheap and keeps
-/// every FTRAN/BTRAN lean.
-const REFACTOR_ETAS: usize = 64;
+/// Hard cap on eta-file length between refactorizations — a safety valve
+/// behind the fill-aware trigger ([`LuFactors::fill_exceeded`]), which is
+/// what normally fires. The fill trigger compares *measured* eta fill
+/// against the cost of the last factorization, so cheap (sparse) updates
+/// can run much longer than the old fixed 64-eta interval while expensive
+/// ones refactorize sooner.
+const REFACTOR_ETAS: usize = 256;
+
+/// Fill-aware refactorization: refactorize once the eta file carries more
+/// nonzeros than `ETA_FILL_FACTOR ×` the last factorization's fill plus
+/// [`ETA_FILL_SLACK`]. The factor balances the amortized cost of a
+/// Markowitz refactorization against the `O(eta_nnz)` transposed eta pass
+/// every BTRAN pays: measured at the 10k-row bench anchor, total solve
+/// time is convex in this knob (71.9 s at 1, 16.8 s at 8, 13.2 s at 12,
+/// 15.4 s at 16) and 12 sits at the bottom of the bowl. Deliberately
+/// nnz-based, never wall-clock-based: solve trajectories stay
+/// byte-deterministic at any `--jobs`.
+const ETA_FILL_FACTOR: usize = 12;
+
+/// Absolute slack under the fill trigger so near-identity factorizations
+/// (tiny `factor_nnz`) still get a useful eta run.
+const ETA_FILL_SLACK: usize = 1024;
 
 /// How many smallest-count columns the Markowitz search examines per pivot.
 const MARKOWITZ_CANDIDATES: usize = 8;
@@ -452,11 +470,11 @@ impl StdForm {
 
 /// One product-form eta update: basis position `pos` was replaced by a
 /// column whose FTRAN direction had pivot `pivot` at `pos` and the given
-/// sparse off-pivot entries.
-struct Eta {
-    pos: usize,
-    pivot: f64,
-    entries: Vec<(usize, f64)>,
+/// sparse off-pivot entries (sorted by position).
+pub(crate) struct Eta {
+    pub(crate) pos: usize,
+    pub(crate) pivot: f64,
+    pub(crate) entries: Vec<(usize, f64)>,
 }
 
 /// A sparse LU factorization of a basis matrix with Markowitz pivot
@@ -475,23 +493,34 @@ struct Eta {
 /// entry points remain [`Problem`]-level.
 #[derive(Debug, Clone)]
 pub struct LuFactors {
-    m: usize,
+    pub(crate) m: usize,
     /// Elimination step -> pivot row (original index).
-    prow: Vec<usize>,
+    pub(crate) prow: Vec<usize>,
     /// Elimination step -> pivot column (basis position).
-    pcol: Vec<usize>,
+    pub(crate) pcol: Vec<usize>,
     /// Original row -> elimination step.
-    row_step: Vec<usize>,
+    pub(crate) row_step: Vec<usize>,
     /// Basis position -> elimination step.
-    col_step: Vec<usize>,
+    pub(crate) col_step: Vec<usize>,
     /// Per step: L multipliers as `(original row, multiplier)`.
-    lower: Vec<Vec<(usize, f64)>>,
+    pub(crate) lower: Vec<Vec<(usize, f64)>>,
     /// Per step: U off-pivot entries as `(basis position, value)`.
-    upper: Vec<Vec<(usize, f64)>>,
+    pub(crate) upper: Vec<Vec<(usize, f64)>>,
     /// Per step: the pivot value.
-    pivots: Vec<f64>,
-    etas: Vec<Eta>,
-    eta_nnz: usize,
+    pub(crate) pivots: Vec<f64>,
+    /// Reverse U dependencies in step space: `u_rev[s]` lists the steps
+    /// `k < s` whose U row references step `s`'s pivot column. The
+    /// hypersparse FTRAN's backward symbolic phase walks these edges.
+    pub(crate) u_rev: Vec<Vec<usize>>,
+    /// Reverse L dependencies in step space: `l_rev[s]` lists the steps
+    /// `k < s` whose L column hits step `s`'s pivot row (for the
+    /// hypersparse BTRAN's `Lᵀ` symbolic phase).
+    pub(crate) l_rev: Vec<Vec<usize>>,
+    pub(crate) etas: Vec<Eta>,
+    pub(crate) eta_nnz: usize,
+    /// `factor_nnz` cached at factorization time (the fill-trigger
+    /// comparison runs every pivot).
+    pub(crate) factor_fill: usize,
 }
 
 impl std::fmt::Debug for Eta {
@@ -723,6 +752,25 @@ impl LuFactors {
             lower.push(mults);
         }
 
+        // Reverse dependency lists in step space, one pass over the
+        // factors: these are the graphs the hypersparse symbolic phases
+        // traverse (see `hypersparse.rs`).
+        let mut u_rev: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for (k, row) in upper.iter().enumerate() {
+            for &(pos, _) in row {
+                u_rev[col_step[pos]].push(k);
+            }
+        }
+        let mut l_rev: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for (k, col) in lower.iter().enumerate() {
+            for &(r, _) in col {
+                l_rev[row_step[r]].push(k);
+            }
+        }
+        let factor_fill = m
+            + lower.iter().map(Vec::len).sum::<usize>()
+            + upper.iter().map(Vec::len).sum::<usize>();
+
         Ok(LuFactors {
             m,
             prow,
@@ -732,8 +780,11 @@ impl LuFactors {
             lower,
             upper,
             pivots,
+            u_rev,
+            l_rev,
             etas: Vec::new(),
             eta_nnz: 0,
+            factor_fill,
         })
     }
 
@@ -755,98 +806,63 @@ impl LuFactors {
 
     /// Nonzeros in the L and U factors (including pivots), excluding etas.
     pub fn factor_nnz(&self) -> usize {
-        self.m
-            + self.lower.iter().map(Vec::len).sum::<usize>()
-            + self.upper.iter().map(Vec::len).sum::<usize>()
+        self.factor_fill
+    }
+
+    /// The fill-aware refactorization trigger: `true` once the eta file
+    /// carries more fill than rebuilding the factors would
+    /// (`eta_nnz > ETA_FILL_FACTOR × factor_nnz + ETA_FILL_SLACK`). The
+    /// caller combines this with a hard [`LuFactors::eta_count`] cap.
+    pub fn fill_exceeded(&self) -> bool {
+        self.eta_nnz > ETA_FILL_FACTOR * self.factor_fill + ETA_FILL_SLACK
     }
 
     /// Solves `B·x = b` (FTRAN), where `b` is indexed by original row and
     /// the result by basis position. Eta updates are applied in order, so
     /// the result is for the *current* (updated) basis.
     ///
+    /// Dense compatibility wrapper over [`LuFactors::ftran_scatter`]; the
+    /// simplex hot loop calls the scatter kernel directly with a reused
+    /// workspace.
+    ///
     /// # Panics
     ///
     /// Panics when `b.len() != self.size()`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.m);
-        let mut work = b.to_vec();
-        // L forward pass (row space).
-        for k in 0..self.m {
-            let w = work[self.prow[k]];
-            if w != 0.0 {
-                for &(r, mult) in &self.lower[k] {
-                    work[r] -= mult * w;
-                }
-            }
-        }
-        // U backward pass (row space -> position space).
-        let mut x = vec![0.0; self.m];
-        for k in (0..self.m).rev() {
-            let mut t = work[self.prow[k]];
-            for &(pos, v) in &self.upper[k] {
-                t -= v * x[pos];
-            }
-            x[self.pcol[k]] = t / self.pivots[k];
-        }
-        self.apply_etas(&mut x);
-        x
+        let sparse_b: Vec<(usize, f64)> = b
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        let mut ws = crate::hypersparse::LuWorkspace::new(self.m);
+        let mut x = crate::hypersparse::ScatterVec::new(self.m);
+        self.ftran_scatter(&sparse_b, &mut ws, &mut x);
+        x.to_dense()
     }
 
     /// Solves `Bᵀ·y = c` (BTRAN), where `c` is indexed by basis position
     /// and the result by original row. Eta updates are applied (transposed,
     /// in reverse), so the result is for the current basis.
     ///
+    /// Dense compatibility wrapper over [`LuFactors::btran_scatter`].
+    ///
     /// # Panics
     ///
     /// Panics when `c.len() != self.size()`.
     pub fn solve_transpose(&self, c: &[f64]) -> Vec<f64> {
         assert_eq!(c.len(), self.m);
-        let mut work = c.to_vec();
-        // Transposed eta file, applied in reverse order.
-        for eta in self.etas.iter().rev() {
-            let mut t = work[eta.pos];
-            for &(i, d) in &eta.entries {
-                t -= work[i] * d;
-            }
-            work[eta.pos] = t / eta.pivot;
-        }
-        // Uᵀ forward pass (position space -> step space).
-        let mut z = vec![0.0; self.m];
-        for k in 0..self.m {
-            let zk = work[self.pcol[k]] / self.pivots[k];
-            z[k] = zk;
-            if zk != 0.0 {
-                for &(pos, v) in &self.upper[k] {
-                    work[pos] -= v * zk;
-                }
-            }
-        }
-        // Lᵀ backward pass (step space -> row space).
-        let mut w = vec![0.0; self.m];
-        for k in (0..self.m).rev() {
-            let mut t = z[k];
-            for &(r, mult) in &self.lower[k] {
-                t -= mult * w[self.row_step[r]];
-            }
-            w[k] = t;
-        }
-        let mut y = vec![0.0; self.m];
-        for k in 0..self.m {
-            y[self.prow[k]] = w[k];
-        }
-        y
-    }
-
-    fn apply_etas(&self, x: &mut [f64]) {
-        for eta in &self.etas {
-            let xr = x[eta.pos] / eta.pivot;
-            if xr != 0.0 {
-                for &(i, d) in &eta.entries {
-                    x[i] -= d * xr;
-                }
-            }
-            x[eta.pos] = xr;
-        }
+        let sparse_c: Vec<(usize, f64)> = c
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        let mut ws = crate::hypersparse::LuWorkspace::new(self.m);
+        let mut y = crate::hypersparse::ScatterVec::new(self.m);
+        self.btran_scatter(&sparse_c, &mut ws, &mut y);
+        y.to_dense()
     }
 
     /// Replaces the basis column at `pos` with `column` (sorted sparse
@@ -858,12 +874,10 @@ impl LuFactors {
     /// singular (the FTRAN direction's pivot entry is ~0); the factors are
     /// left unchanged in that case.
     pub fn replace_column(&mut self, pos: usize, column: &[(usize, f64)]) -> Result<(), LpError> {
-        let mut dense = vec![0.0; self.m];
-        for &(r, v) in column {
-            dense[r] = v;
-        }
-        let direction = self.solve(&dense);
-        self.replace_column_with_direction(pos, &direction)
+        let mut ws = crate::hypersparse::LuWorkspace::new(self.m);
+        let mut d = crate::hypersparse::ScatterVec::new(self.m);
+        self.ftran_scatter(column, &mut ws, &mut d);
+        self.replace_column_scatter(pos, &d)
     }
 
     /// [`LuFactors::replace_column`] when the caller already holds the
@@ -891,13 +905,19 @@ impl LuFactors {
             .filter(|&(i, &d)| i != pos && d != 0.0)
             .map(|(i, &d)| (i, d))
             .collect();
+        self.push_eta(pos, pivot, entries);
+        Ok(())
+    }
+
+    /// Appends one eta to the file and maintains the fill counter (both
+    /// update paths funnel through here).
+    pub(crate) fn push_eta(&mut self, pos: usize, pivot: f64, entries: Vec<(usize, f64)>) {
         self.eta_nnz += entries.len() + 1;
         self.etas.push(Eta {
             pos,
             pivot,
             entries,
         });
-        Ok(())
     }
 
     /// Reconstructs the factored matrix as a dense `m × m` array indexed
@@ -937,6 +957,15 @@ impl LuFactors {
 /// restart, standard practice to keep the approximation honest).
 const DEVEX_RESET: f64 = 1e12;
 
+/// Update/refactorization counters accumulated over one solve, surfaced as
+/// [`crate::SolveStats`] on the solution.
+#[derive(Debug, Clone, Copy, Default)]
+struct CoreStats {
+    refactorizations: usize,
+    eta_nnz_total: usize,
+    peak_eta_nnz: usize,
+}
+
 struct SparseCore {
     sf: StdForm,
     basis: Vec<usize>,
@@ -946,12 +975,29 @@ struct SparseCore {
     xb: Vec<f64>,
     /// devex reference weights, one per standard-form column
     devex: Vec<f64>,
+    /// running upper bound on the largest devex weight written since the
+    /// last reset (replaces an `O(ncols)` scan per pivot; an overwritten
+    /// maximum can make this an overestimate, which at worst resets early
+    /// — always safe).
+    devex_max: f64,
     iterations: usize,
     /// eta-file length that triggers refactorization
     refactor_every: usize,
     budget: crate::recover::SolveBudget,
     /// phase-1 duals captured at infeasible termination
     farkas_y: Option<Vec<f64>>,
+    pricing: Pricing,
+    stats: CoreStats,
+    /// reusable hypersparse scratch: no per-iteration allocation
+    ws: LuWorkspace,
+    /// dual vector `y = Bᵀ⁻¹ c_B` (row space)
+    y: ScatterVec,
+    /// FTRAN direction `d = B⁻¹ a_q` (position space)
+    d: ScatterVec,
+    /// BTRAN of the leaving unit vector (row space)
+    row_r: ScatterVec,
+    /// sparse basic-cost buffer for the dual BTRAN
+    cb_buf: Vec<(usize, f64)>,
 }
 
 impl SparseCore {
@@ -967,6 +1013,7 @@ impl SparseCore {
         let lu = LuFactors::factorize(sf.m, &bcols)?;
         let xb = lu.solve(&sf.rhs);
         let devex = vec![1.0; sf.ncols];
+        let m = sf.m;
         Ok(SparseCore {
             sf,
             basis,
@@ -974,10 +1021,18 @@ impl SparseCore {
             lu,
             xb,
             devex,
+            devex_max: 1.0,
             iterations: 0,
             refactor_every: REFACTOR_ETAS,
             budget,
             farkas_y: None,
+            pricing: Pricing::default(),
+            stats: CoreStats::default(),
+            ws: LuWorkspace::new(m),
+            y: ScatterVec::new(m),
+            d: ScatterVec::new(m),
+            row_r: ScatterVec::new(m),
+            cb_buf: Vec::new(),
         })
     }
 
@@ -985,12 +1040,31 @@ impl SparseCore {
         self.sf.cols[j].iter().map(|&(r, v)| y[r] * v).sum()
     }
 
-    fn dense_col(&self, j: usize) -> Vec<f64> {
-        let mut dense = vec![0.0; self.sf.m];
-        for &(r, v) in &self.sf.cols[j] {
-            dense[r] = v;
+    /// `y = Bᵀ⁻¹ c_B` into `self.y`, seeding only nonzero basic costs —
+    /// in phase 2 the SMO objective makes `c_B` nearly empty, so this
+    /// BTRAN is the textbook hypersparse win.
+    fn compute_duals(&mut self, costs: &[f64]) {
+        self.cb_buf.clear();
+        for (r, &j) in self.basis.iter().enumerate() {
+            let c = costs[j];
+            if c != 0.0 {
+                self.cb_buf.push((r, c));
+            }
         }
-        dense
+        self.lu
+            .btran_scatter(&self.cb_buf, &mut self.ws, &mut self.y);
+    }
+
+    /// FTRAN of column `q` into `self.d`.
+    fn compute_direction(&mut self, q: usize) {
+        self.lu
+            .ftran_scatter(&self.sf.cols[q], &mut self.ws, &mut self.d);
+    }
+
+    /// BTRAN of the unit vector at basis position `r` into `self.row_r`.
+    fn compute_pivot_row(&mut self, r: usize) {
+        self.lu
+            .btran_scatter(&[(r, 1.0)], &mut self.ws, &mut self.row_r);
     }
 
     /// Fresh factorization of the current basis; recomputes `xb` from the
@@ -1002,17 +1076,150 @@ impl SparseCore {
             .map(|&j| self.sf.cols[j].clone())
             .collect();
         self.lu = LuFactors::factorize(self.sf.m, &bcols)?;
-        self.xb = self.lu.solve(&self.sf.rhs);
+        let rhs: Vec<(usize, f64)> = self
+            .sf
+            .rhs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.lu.ftran_scatter(&rhs, &mut self.ws, &mut self.d);
+        for v in &mut self.xb {
+            *v = 0.0;
+        }
+        for (i, v) in self.d.iter_nonzero() {
+            self.xb[i] = v;
+        }
+        self.stats.refactorizations += 1;
         Ok(())
     }
 
     fn eta_budget_exceeded(&self) -> bool {
-        self.lu.eta_count() >= self.refactor_every || self.lu.eta_nnz() > 4 * self.sf.m + 1024
+        self.lu.eta_count() >= self.refactor_every || self.lu.fill_exceeded()
     }
 
-    /// One simplex phase (minimize `costs`): devex pricing with the shared
-    /// Bland anti-cycling fallback, ratio test, eta update, periodic
-    /// refactorization. `Ok(true)` at optimality, `Ok(false)` if unbounded.
+    /// Records the eta update for pivot direction `self.d` at position `r`
+    /// and refactorizes if the fill budget tripped. Returns whether a
+    /// refactorization happened (the caller invalidates incremental duals
+    /// on that boundary).
+    fn apply_update(&mut self, r: usize) -> Result<bool, LpError> {
+        let before = self.lu.eta_nnz();
+        self.lu.replace_column_scatter(r, &self.d)?;
+        let after = self.lu.eta_nnz();
+        self.stats.eta_nnz_total += after - before;
+        self.stats.peak_eta_nnz = self.stats.peak_eta_nnz.max(after);
+        self.iterations += 1;
+        if self.eta_budget_exceeded() {
+            self.refactorize()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Is column `j` priceable this phase?
+    fn eligible(&self, j: usize, allow_artificial: bool) -> bool {
+        !self.in_basis[j]
+            && (allow_artificial || !matches!(self.sf.col_kinds[j], ColKind::Artificial { .. }))
+    }
+
+    /// One column's devex reference test against the current pivot row
+    /// (`self.row_r`): grows `devex[j]` to the candidate weight when the
+    /// row touches the column.
+    #[inline]
+    fn devex_bump(&mut self, j: usize, q: usize, alpha_q: f64, wq: f64) {
+        if self.in_basis[j] || j == q {
+            return;
+        }
+        let alpha = self.sparse_dot(self.row_r.values(), j);
+        if alpha != 0.0 {
+            let cand = (alpha / alpha_q) * (alpha / alpha_q) * wq;
+            if cand > self.devex[j] {
+                self.devex[j] = cand;
+                if cand > self.devex_max {
+                    self.devex_max = cand;
+                }
+            }
+        }
+    }
+
+    /// Devex weight update against the leaving row `r` (must run before
+    /// the basis changes), restricted to `scope` — the full nonbasic range
+    /// under `Pricing::Devex` (`None`, no per-pivot index allocation), the
+    /// candidate list under `Partial`.
+    fn update_devex_weights(&mut self, scope: Option<&[usize]>, q: usize, r: usize, alpha_q: f64) {
+        let wq = self.devex[q];
+        match scope {
+            Some(list) => {
+                for &j in list {
+                    self.devex_bump(j, q, alpha_q, wq);
+                }
+            }
+            None => {
+                for j in 0..self.sf.ncols {
+                    self.devex_bump(j, q, alpha_q, wq);
+                }
+            }
+        }
+        let leaving = (wq / (alpha_q * alpha_q)).max(1.0);
+        self.devex[self.basis[r]] = leaving;
+        if leaving > self.devex_max {
+            self.devex_max = leaving;
+        }
+        if self.devex_max > DEVEX_RESET {
+            for w in &mut self.devex {
+                *w = 1.0;
+            }
+            self.devex_max = 1.0;
+        }
+    }
+
+    /// Ratio test over the (sorted) nonzeros of `self.d`: identical
+    /// tie-breaking to the dense scan, which visited rows in ascending
+    /// order with `d[r] == 0` elsewhere.
+    fn ratio_test(&self) -> Option<usize> {
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for &i in self.d.touched() {
+            let di = self.d.get(i);
+            if di > EPS {
+                let ratio = self.xb[i] / di;
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        leave
+    }
+
+    /// Applies the primal pivot `x_B -= θ·d` over the direction's nonzeros
+    /// only. Equivalent to the old full-row sweep: untouched entries have
+    /// `d[i] == 0` exactly, and the tiny-negative clamp only ever fires on
+    /// entries a pivot just wrote.
+    fn update_xb(&mut self, r: usize, theta: f64) {
+        for &i in self.d.touched() {
+            if i != r {
+                self.xb[i] -= theta * self.d.get(i);
+                if self.xb[i] < 0.0 && self.xb[i] > -1e-10 {
+                    self.xb[i] = 0.0;
+                }
+            }
+        }
+        self.xb[r] = if theta < 0.0 && theta > -1e-10 {
+            0.0
+        } else {
+            theta
+        };
+    }
+
+    /// One simplex phase (minimize `costs`): devex / partial / Bland
+    /// pricing with the shared Bland anti-cycling fallback, hypersparse
+    /// FTRAN/BTRAN, ratio test, eta update, fill-aware refactorization.
+    /// `Ok(true)` at optimality, `Ok(false)` if unbounded.
     fn phase(
         &mut self,
         costs: &[f64],
@@ -1025,6 +1232,18 @@ impl SparseCore {
         for w in &mut self.devex {
             *w = 1.0;
         }
+        self.devex_max = 1.0;
+        let mut pricer = PartialPricer::new(ncols);
+        // Dual maintenance. `y_valid` gates a from-scratch BTRAN; after a
+        // pivot the duals are instead *updated* along the pivot row
+        // (`y' = y + (z_q/α_r)·ρ_r`, the textbook rank-one dual update) —
+        // that BTRAN was the single largest per-iteration cost at 10k+
+        // rows. `y_fresh` records whether any incremental updates have
+        // been folded in since the last exact BTRAN: optimality is only
+        // ever declared on exact duals (see the rescan below), so the
+        // update changes pivot routes, never verdicts.
+        let mut y_valid = false;
+        let mut y_fresh = false;
         loop {
             if self.iterations > limit {
                 return Err(LpError::IterationLimit { limit });
@@ -1035,104 +1254,124 @@ impl SparseCore {
             {
                 self.budget.check(self.iterations)?;
             }
-            let bland = self.iterations > bland_after;
-            let cb: Vec<f64> = self.basis.iter().map(|&j| costs[j]).collect();
-            let y = self.lu.solve_transpose(&cb);
+            let bland = self.iterations > bland_after || self.pricing == Pricing::Bland;
+            if !y_valid {
+                self.compute_duals(costs);
+                y_valid = true;
+                y_fresh = true;
+            }
+
             // Pricing: devex score z²/w (Dantzig weighted by the reference
-            // framework), or plain Bland first-eligible in fallback mode.
-            let mut enter = None;
-            let mut best_score = 0.0;
-            for j in 0..ncols {
-                if self.in_basis[j] {
-                    continue;
-                }
-                if !allow_artificial && matches!(self.sf.col_kinds[j], ColKind::Artificial { .. }) {
-                    continue;
-                }
-                let zj = costs[j] - self.sparse_dot(&y, j);
-                if zj < -EPS {
-                    if bland {
+            // framework) over the full range or the candidate list, or
+            // plain Bland first-eligible in fallback mode.
+            let enter = if bland {
+                let mut enter = None;
+                for j in 0..ncols {
+                    if self.eligible(j, allow_artificial)
+                        && costs[j] - self.sparse_dot(self.y.values(), j) < -EPS
+                    {
                         enter = Some(j);
                         break;
                     }
-                    let score = zj * zj / self.devex[j];
-                    if score > best_score {
-                        best_score = score;
-                        enter = Some(j);
+                }
+                enter
+            } else if self.pricing == Pricing::Partial {
+                let y = self.y.values();
+                pricer.select(
+                    ncols,
+                    |j| self.eligible(j, allow_artificial),
+                    |j| costs[j] - self.sparse_dot(y, j),
+                    |j| self.devex[j],
+                )
+            } else {
+                let mut enter = None;
+                let mut best_score = 0.0;
+                for j in 0..ncols {
+                    if !self.eligible(j, allow_artificial) {
+                        continue;
+                    }
+                    let zj = costs[j] - self.sparse_dot(self.y.values(), j);
+                    if zj < -EPS {
+                        let score = zj * zj / self.devex[j];
+                        if score > best_score {
+                            best_score = score;
+                            enter = Some(j);
+                        }
                     }
                 }
-            }
-            let Some(q) = enter else { return Ok(true) };
+                enter
+            };
+            let Some(q) = enter else {
+                if y_fresh {
+                    return Ok(true);
+                }
+                // "No candidate" on incrementally-updated duals is only a
+                // hint: recompute them exactly and rescan before declaring
+                // optimality. At most one extra BTRAN per false alarm, and
+                // the verdict itself never rests on drifted numbers.
+                y_valid = false;
+                continue;
+            };
 
             // Direction and ratio test.
-            let d = self.lu.solve(&self.dense_col(q));
-            let mut leave: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            for r in 0..m {
-                if d[r] > EPS {
-                    let ratio = self.xb[r] / d[r];
-                    let better = ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
-                    if better {
-                        best_ratio = ratio;
-                        leave = Some(r);
-                    }
-                }
-            }
-            let Some(r) = leave else { return Ok(false) };
+            self.compute_direction(q);
+            let Some(r) = self.ratio_test() else {
+                return Ok(false);
+            };
 
             // Devex weight update against the leaving row, computed before
             // the basis changes (the BTRAN row is for the current basis).
             if !bland {
-                let mut er = vec![0.0; m];
-                er[r] = 1.0;
-                let row_r = self.lu.solve_transpose(&er);
-                let alpha_q = d[r];
-                let wq = self.devex[q];
-                for j in 0..ncols {
-                    if self.in_basis[j] || j == q {
-                        continue;
-                    }
-                    let alpha = self.sparse_dot(&row_r, j);
-                    if alpha != 0.0 {
-                        let cand = (alpha / alpha_q) * (alpha / alpha_q) * wq;
-                        if cand > self.devex[j] {
-                            self.devex[j] = cand;
-                        }
+                self.compute_pivot_row(r);
+                let alpha_q = self.d.get(r);
+                if self.pricing == Pricing::Partial {
+                    // Maintain weights only where they are read: on the
+                    // candidate list. Off-list weights go stale, which can
+                    // reorder pivots but never changes any verdict.
+                    self.update_devex_weights(Some(pricer.candidates()), q, r, alpha_q);
+                } else {
+                    self.update_devex_weights(None, q, r, alpha_q);
+                }
+                // Rank-one dual update along the pivot row (z_q on the
+                // *pre-pivot* duals, ρ_r for the pre-pivot basis — both in
+                // hand). Replaces next iteration's from-scratch BTRAN.
+                let zq = costs[q] - self.sparse_dot(self.y.values(), q);
+                let g = zq / alpha_q;
+                if g != 0.0 {
+                    for &i in self.row_r.touched() {
+                        self.y.add(i, g * self.row_r.get(i));
                     }
                 }
-                self.devex[self.basis[r]] = (wq / (alpha_q * alpha_q)).max(1.0);
-                if self.devex.iter().any(|&w| w > DEVEX_RESET) {
-                    for w in &mut self.devex {
-                        *w = 1.0;
-                    }
-                }
+                y_fresh = false;
+            } else {
+                // Bland mode never computes the pivot row, so the duals
+                // are rebuilt from scratch next iteration — exactly the
+                // pre-update behavior of the fallback path.
+                y_valid = false;
             }
 
             // Pivot: update xb, the basis, and the LU eta file.
-            let theta = self.xb[r] / d[r];
-            for i in 0..m {
-                if i != r {
-                    self.xb[i] -= theta * d[i];
-                    if self.xb[i] < 0.0 && self.xb[i] > -1e-10 {
-                        self.xb[i] = 0.0;
-                    }
-                }
-            }
-            self.xb[r] = if theta < 0.0 && theta > -1e-10 {
-                0.0
-            } else {
-                theta
-            };
+            let theta = self.xb[r] / self.d.get(r);
+            self.update_xb(r, theta);
             self.in_basis[self.basis[r]] = false;
             self.in_basis[q] = true;
             self.basis[r] = q;
-            self.lu.replace_column_with_direction(r, &d)?;
-            self.iterations += 1;
-            if self.eta_budget_exceeded() {
-                self.refactorize()?;
+            let refactorized = self.apply_update(r)?;
+            if refactorized {
+                // A fresh factorization flushes accumulated pivot error;
+                // give the duals the same treatment.
+                y_valid = false;
             }
+        }
+    }
+
+    /// The per-solve kernel counters as the public stats record.
+    fn solve_stats(&self) -> SolveStats {
+        SolveStats {
+            refactorizations: self.stats.refactorizations,
+            eta_nnz_total: self.stats.eta_nnz_total,
+            peak_eta_nnz: self.stats.peak_eta_nnz,
+            factor_nnz: self.lu.factor_nnz(),
         }
     }
 
@@ -1170,8 +1409,8 @@ impl SparseCore {
             let optimal = self.phase(&phase1, true, limit)?;
             debug_assert!(optimal, "phase 1 is bounded below");
             if self.artificial_infeasibility() > 1e-7 {
-                let cb1: Vec<f64> = self.basis.iter().map(|&j| phase1[j]).collect();
-                self.farkas_y = Some(self.lu.solve_transpose(&cb1));
+                self.compute_duals(&phase1);
+                self.farkas_y = Some(self.y.to_dense());
                 return Ok(Status::Infeasible);
             }
             // Drive basic artificials out where possible (mirrors the
@@ -1179,22 +1418,20 @@ impl SparseCore {
             // basic at zero and is harmless).
             for r in 0..m {
                 if matches!(self.sf.col_kinds[self.basis[r]], ColKind::Artificial { .. }) {
-                    let mut er = vec![0.0; m];
-                    er[r] = 1.0;
-                    let row = self.lu.solve_transpose(&er);
+                    self.compute_pivot_row(r);
                     for q in 0..ncols {
                         if self.in_basis[q]
                             || matches!(self.sf.col_kinds[q], ColKind::Artificial { .. })
-                            || self.sparse_dot(&row, q).abs() <= EPS
+                            || self.sparse_dot(self.row_r.values(), q).abs() <= EPS
                         {
                             continue;
                         }
-                        let d = self.lu.solve(&self.dense_col(q));
-                        if d[r].abs() > EPS {
+                        self.compute_direction(q);
+                        if self.d.get(r).abs() > EPS {
                             self.in_basis[self.basis[r]] = false;
                             self.in_basis[q] = true;
                             self.basis[r] = q;
-                            self.lu.replace_column_with_direction(r, &d)?;
+                            self.lu.replace_column_scatter(r, &self.d)?;
                             self.refactorize()?;
                             break;
                         }
@@ -1216,8 +1453,9 @@ impl SparseCore {
 pub(crate) fn solve_budgeted(
     p: &Problem,
     budget: crate::recover::SolveBudget,
+    pricing: Pricing,
 ) -> Result<Solution, LpError> {
-    solve_inner(p, REFACTOR_ETAS, budget)
+    solve_inner(p, REFACTOR_ETAS, budget, pricing)
 }
 
 /// [`solve_budgeted`] with an explicit eta-file budget (exposed for tests
@@ -1227,17 +1465,24 @@ pub(crate) fn solve_with_refactor_interval(
     p: &Problem,
     refactor_every: usize,
 ) -> Result<Solution, LpError> {
-    solve_inner(p, refactor_every, crate::recover::SolveBudget::UNLIMITED)
+    solve_inner(
+        p,
+        refactor_every,
+        crate::recover::SolveBudget::UNLIMITED,
+        Pricing::default(),
+    )
 }
 
 fn solve_inner(
     p: &Problem,
     refactor_every: usize,
     budget: crate::recover::SolveBudget,
+    pricing: Pricing,
 ) -> Result<Solution, LpError> {
     let sf = StdForm::build(p, None)?;
     let mut core = SparseCore::new(sf, budget)?;
     core.refactor_every = refactor_every.max(1);
+    core.pricing = pricing;
     let status = core.optimize()?;
     if status != Status::Optimal {
         let farkas = core
@@ -1254,6 +1499,7 @@ fn solve_inner(
             iterations: core.iterations,
             farkas,
             basis: None,
+            stats: Some(core.solve_stats()),
         });
     }
     package_optimal(p, &core)
@@ -1301,6 +1547,7 @@ fn package_optimal(p: &Problem, core: &SparseCore) -> Result<Solution, LpError> 
         iterations: core.iterations,
         farkas: None,
         basis: Some(core.sf.capture_basis_from(&core.basis)),
+        stats: Some(core.solve_stats()),
     })
 }
 
@@ -1333,20 +1580,17 @@ fn dual_simplex(core: &mut SparseCore, costs: &[f64]) -> Result<bool, LpError> {
         if pivots.is_multiple_of(crate::recover::BUDGET_CHECK_EVERY) {
             core.budget.check(core.iterations)?;
         }
-        let mut er = vec![0.0; m];
-        er[r] = 1.0;
-        let row = core.lu.solve_transpose(&er);
-        let cb: Vec<f64> = core.basis.iter().map(|&j| costs[j]).collect();
-        let y = core.lu.solve_transpose(&cb);
+        core.compute_pivot_row(r);
+        core.compute_duals(costs);
         let mut enter = None;
         let mut best = f64::INFINITY;
         for j in 0..core.sf.ncols {
             if core.in_basis[j] || matches!(core.sf.col_kinds[j], ColKind::Artificial { .. }) {
                 continue;
             }
-            let alpha = core.sparse_dot(&row, j);
+            let alpha = core.sparse_dot(core.row_r.values(), j);
             if alpha < -EPS {
-                let zj = (costs[j] - core.sparse_dot(&y, j)).max(0.0);
+                let zj = (costs[j] - core.sparse_dot(core.y.values(), j)).max(0.0);
                 let ratio = zj / -alpha;
                 if ratio < best {
                     best = ratio;
@@ -1357,14 +1601,14 @@ fn dual_simplex(core: &mut SparseCore, costs: &[f64]) -> Result<bool, LpError> {
         let Some(q) = enter else {
             return Ok(false); // primal infeasible: certify via cold phase 1
         };
-        let d = core.lu.solve(&core.dense_col(q));
-        if d[r].abs() <= EPS {
+        core.compute_direction(q);
+        if core.d.get(r).abs() <= EPS {
             return Ok(false); // BTRAN screen passed but FTRAN pivot is tiny
         }
-        let theta = core.xb[r] / d[r];
-        for i in 0..m {
+        let theta = core.xb[r] / core.d.get(r);
+        for &i in core.d.touched() {
             if i != r {
-                core.xb[i] -= theta * d[i];
+                core.xb[i] -= theta * core.d.get(i);
                 if core.xb[i] < 0.0 && core.xb[i] > -1e-10 {
                     core.xb[i] = 0.0;
                 }
@@ -1374,7 +1618,7 @@ fn dual_simplex(core: &mut SparseCore, costs: &[f64]) -> Result<bool, LpError> {
         core.in_basis[core.basis[r]] = false;
         core.in_basis[q] = true;
         core.basis[r] = q;
-        if core.lu.replace_column_with_direction(r, &d).is_err() {
+        if core.lu.replace_column_scatter(r, &core.d).is_err() {
             return Ok(false);
         }
         core.iterations += 1;
@@ -1406,12 +1650,11 @@ fn warm_optimize(core: &mut SparseCore, basis: &Basis) -> Result<bool, LpError> 
     let costs = core.sf.costs.clone();
     let primal_ok = core.xb.iter().all(|&x| x >= -WARM_FEAS);
     if !primal_ok {
-        let cb: Vec<f64> = core.basis.iter().map(|&j| costs[j]).collect();
-        let y = core.lu.solve_transpose(&cb);
+        core.compute_duals(&costs);
         let dual_ok = (0..core.sf.ncols).all(|j| {
             core.in_basis[j]
                 || matches!(core.sf.col_kinds[j], ColKind::Artificial { .. })
-                || costs[j] - core.sparse_dot(&y, j) >= -WARM_FEAS
+                || costs[j] - core.sparse_dot(core.y.values(), j) >= -WARM_FEAS
         });
         if !dual_ok {
             return Ok(false);
@@ -1450,13 +1693,15 @@ pub(crate) fn solve_from_basis_budgeted(
     p: &Problem,
     basis: &Basis,
     budget: crate::recover::SolveBudget,
+    pricing: Pricing,
 ) -> Result<Solution, LpError> {
     let sf = StdForm::build(p, None)?;
     let mut core = SparseCore::new(sf, budget)?;
+    core.pricing = pricing;
     if warm_optimize(&mut core, basis)? {
         package_optimal(p, &core)
     } else {
-        solve_inner(p, REFACTOR_ETAS, budget)
+        solve_inner(p, REFACTOR_ETAS, budget, pricing)
     }
 }
 

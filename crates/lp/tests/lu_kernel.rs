@@ -16,7 +16,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use smo_lp::LuFactors;
+use smo_lp::{LuFactors, LuWorkspace, ScatterVec};
 
 type Cols = Vec<Vec<(usize, f64)>>;
 
@@ -160,6 +160,97 @@ proptest! {
         prop_assert!(
             max_abs_diff(&lu.solve_transpose(&c), &fresh.solve_transpose(&c)) <= 1e-8,
             "updated BTRAN drifted from refactorization (seed {seed}, m {m}, k {k})"
+        );
+    }
+
+    /// The hypersparse scatter kernels agree with the dense wrappers on
+    /// *sparse* right-hand sides — the case the symbolic reachability
+    /// phase actually prunes — including through a nonempty eta file.
+    #[test]
+    fn prop_scatter_kernels_match_dense_wrappers(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = rng.gen_range(3..=32usize);
+        let mut cols = random_matrix(m, &mut rng);
+        let mut lu = LuFactors::factorize(m, &cols).expect("dominant matrix factorizes");
+        for _ in 0..rng.gen_range(0..=4usize) {
+            let pos = rng.gen_range(0..m);
+            let replacement = dominant_column(m, pos, &mut rng);
+            lu.replace_column(pos, &replacement).expect("nonsingular");
+            cols[pos] = replacement;
+        }
+
+        // A right-hand side with 1..=3 nonzeros, as the simplex sees:
+        // incoming columns and unit vectors, not dense data.
+        let nnz = rng.gen_range(1..=3usize.min(m));
+        let mut rhs: Vec<(usize, f64)> = Vec::new();
+        while rhs.len() < nnz {
+            let i = rng.gen_range(0..m);
+            if rhs.iter().all(|&(j, _)| j != i) {
+                rhs.push((i, rng.gen_range(-5.0..5.0)));
+            }
+        }
+        rhs.sort_by_key(|&(i, _)| i);
+        let mut dense_rhs = vec![0.0; m];
+        for &(i, v) in &rhs {
+            dense_rhs[i] = v;
+        }
+
+        let mut ws = LuWorkspace::new(m);
+        let mut out = ScatterVec::new(m);
+        lu.ftran_scatter(&rhs, &mut ws, &mut out);
+        prop_assert!(
+            max_abs_diff(&out.to_dense(), &lu.solve(&dense_rhs)) <= 1e-10,
+            "hypersparse FTRAN drifted from the dense wrapper (seed {seed}, m {m})"
+        );
+        prop_assert!(
+            out.touched().windows(2).all(|w| w[0] < w[1]),
+            "FTRAN touched list must come back sorted (seed {seed})"
+        );
+
+        lu.btran_scatter(&rhs, &mut ws, &mut out);
+        prop_assert!(
+            max_abs_diff(&out.to_dense(), &lu.solve_transpose(&dense_rhs)) <= 1e-10,
+            "hypersparse BTRAN drifted from the dense wrapper (seed {seed}, m {m})"
+        );
+        prop_assert!(
+            out.touched().windows(2).all(|w| w[0] < w[1]),
+            "BTRAN touched list must come back sorted (seed {seed})"
+        );
+    }
+
+    /// Pathological eta chains: many successive replacements of the *same*
+    /// column (the worst case for product-form update error) still solve
+    /// like a fresh factorization, and the fill counters stay honest.
+    #[test]
+    fn prop_long_eta_chains_match_fresh_refactorization(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = rng.gen_range(4..=16usize);
+        let mut cols = random_matrix(m, &mut rng);
+        let mut lu = LuFactors::factorize(m, &cols).expect("dominant matrix factorizes");
+
+        // 32 updates on a rotating handful of positions: eta entries pile
+        // onto the same slots over and over.
+        let hot: Vec<usize> = (0..3).map(|_| rng.gen_range(0..m)).collect();
+        for t in 0..32usize {
+            let pos = hot[t % hot.len()];
+            let replacement = dominant_column(m, pos, &mut rng);
+            lu.replace_column(pos, &replacement).expect("nonsingular");
+            cols[pos] = replacement;
+        }
+        prop_assert_eq!(lu.eta_count(), 32);
+        let nnz_sum: usize = lu.eta_nnz();
+        prop_assert!(nnz_sum >= 32, "every eta carries at least its pivot");
+
+        let fresh = LuFactors::factorize(m, &cols).expect("mutated matrix factorizes");
+        let b: Vec<f64> = (0..m).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        prop_assert!(
+            max_abs_diff(&lu.solve(&b), &fresh.solve(&b)) <= 1e-6,
+            "32-eta FTRAN drifted from refactorization (seed {seed}, m {m})"
+        );
+        let c: Vec<f64> = (0..m).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        prop_assert!(
+            max_abs_diff(&lu.solve_transpose(&c), &fresh.solve_transpose(&c)) <= 1e-6,
+            "32-eta BTRAN drifted from refactorization (seed {seed}, m {m})"
         );
     }
 }

@@ -35,7 +35,7 @@ use smo::api::{solve_json, sweep_json, ParseLimits};
 use smo::circuit::EdgeId;
 use smo::circuit::{lump_equivalent_latches, netlist, to_dot, Circuit, ClockSchedule};
 use smo::gen::datapath::{pipelined_datapath, DatapathConfig};
-use smo::lp::SimplexVariant;
+use smo::lp::{Pricing, SimplexVariant};
 use smo::sim::{monte_carlo, simulate, MonteCarloOptions, SimOptions};
 use smo::timing::{
     graph_feasible_at, min_cycle_time, min_cycle_time_with, render_solution, sweep_cycle_time,
@@ -60,6 +60,7 @@ const USAGE: &str = "usage:
   smo optimize <netlist>                         minimum cycle time + schedule
   smo solve    <netlist> [--backend auto|graph|lp] [--no-certify]
                [--variant dense|revised|sparse]
+               [--pricing devex|partial|bland] [--max-input-mb N]
                [--time-limit <secs>] [--json]
                                                  minimum cycle time with every
                                                  solver verdict independently
@@ -71,7 +72,17 @@ const USAGE: &str = "usage:
                                                  `auto` (default) solves
                                                  difference-only models on the
                                                  graph and warm-starts the
-                                                 simplex otherwise
+                                                 simplex otherwise; --pricing
+                                                 picks the sparse variant's
+                                                 pivot-selection rule (default
+                                                 `partial`: candidate-list
+                                                 devex — same verdicts and
+                                                 optimum on every setting);
+                                                 --max-input-mb N lifts the
+                                                 netlist input limits to N MiB
+                                                 (default 4; lines/elements
+                                                 scale with it) for generated
+                                                 100k-latch circuits
   smo gen      [--latches N | --stages S --width W] [--phases K] [--fanin F]
                [--delay-min A] [--delay-max B] [--seed S] [--out FILE]
                                                  seeded pipelined-datapath
@@ -124,6 +135,8 @@ const USAGE: &str = "usage:
                                                  scale × the optimal schedule
   smo sweep    <netlist> [--param tc|delay] [--runs N] [--jobs N] [--json]
                [--edge E] [--max-delay D] [--spread S] [--seed S] [--certify]
+               [--variant dense|revised|sparse]
+               [--pricing devex|partial|bland] [--max-input-mb N]
                                                  warm-started cycle-time sweep:
                                                  `tc` grids one edge's delay
                                                  (exact breakpoints included),
@@ -141,7 +154,7 @@ const USAGE: &str = "usage:
   smo call     <addr> <cmd> [netlist] [--id I] [--deadline-ms N]
                [--backend auto|graph|lp] [--no-certify] [--cycle-time T]
                [--phase s,w ...] [--param tc|delay] [--runs N] [--edge E]
-               [--spread S] [--seed S]
+               [--spread S] [--seed S] [--pricing devex|partial|bland]
                                                  send one request to a daemon
                                                  (cmd: ping, stats, shutdown,
                                                  solve, verify, check,
@@ -170,6 +183,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 ..Default::default()
             };
             let mut json = false;
+            let mut max_mb = None;
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -181,6 +195,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                             .parse()?;
                     }
                     "--variant" => options.simplex = parse_variant(&mut it)?,
+                    "--pricing" => options.pricing = parse_pricing(&mut it)?,
+                    "--max-input-mb" => max_mb = Some(parse_arg(&mut it, "--max-input-mb")?),
                     "--time-limit" => {
                         let secs: f64 = it
                             .next()
@@ -201,7 +217,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
             }
-            let circuit = load(&path.ok_or("missing netlist path")?)?;
+            let circuit = load_with(&path.ok_or("missing netlist path")?, &input_limits(max_mb)?)?;
             let sol = min_cycle_time_with(&circuit, &options).map_err(|e| e.to_string())?;
             if json {
                 println!("{}", solve_json(&sol));
@@ -661,6 +677,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let mut seed = 0u64;
             let mut certify = false;
             let mut json = false;
+            let mut variant = None;
+            let mut pricing = Pricing::default();
+            let mut max_mb = None;
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -683,13 +702,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     "--seed" => seed = parse_arg(&mut it, "--seed")?,
                     "--certify" => certify = true,
                     "--json" => json = true,
+                    "--variant" => variant = Some(parse_variant(&mut it)?),
+                    "--pricing" => pricing = parse_pricing(&mut it)?,
+                    "--max-input-mb" => max_mb = Some(parse_arg(&mut it, "--max-input-mb")?),
                     other if path.is_none() && !other.starts_with('-') => {
                         path = Some(other.to_string());
                     }
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
             }
-            let circuit = load(&path.ok_or("missing netlist path")?)?;
+            let circuit = load_with(&path.ok_or("missing netlist path")?, &input_limits(max_mb)?)?;
             if runs == 0 {
                 return Err("run count must be at least 1".into());
             }
@@ -711,14 +733,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 }
                 _ => SweepParam::Delay { spread },
             };
-            let options = SweepOptions {
+            let mut options = SweepOptions {
                 param,
                 runs,
                 seed,
                 jobs,
                 certify,
+                pricing,
                 ..Default::default()
             };
+            if let Some(v) = variant {
+                options.variant = v;
+            }
             let reports = sweep_cycle_time(std::slice::from_ref(&circuit), &options)
                 .map_err(|e| e.to_string())?;
             let report = &reports[0];
@@ -840,6 +866,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         let s: u64 = parse_arg(&mut it, "--seed")?;
                         fields.push(("seed".into(), s.to_string()));
                     }
+                    "--pricing" => {
+                        // Parsed locally so typos fail here, not at the
+                        // daemon.
+                        let p = parse_pricing(&mut it)?;
+                        fields.push(("pricing".into(), json_str(p.as_str())));
+                    }
                     other if netlist_path.is_none() && !other.starts_with('-') => {
                         netlist_path = Some(other.to_string());
                     }
@@ -933,6 +965,14 @@ where
         .map_err(|e| format!("bad {flag} value: {e}"))
 }
 
+/// Parses the value following `--pricing`.
+fn parse_pricing(it: &mut std::slice::Iter<'_, String>) -> Result<Pricing, String> {
+    it.next()
+        .ok_or("--pricing needs a value (devex, partial or bland)")?
+        .parse()
+        .map_err(|e| format!("bad --pricing value: {e}"))
+}
+
 /// Parses the value following `--variant`.
 fn parse_variant(it: &mut std::slice::Iter<'_, String>) -> Result<SimplexVariant, String> {
     match it.next().map(String::as_str) {
@@ -963,6 +1003,29 @@ fn path_and_json(rest: &[String]) -> Result<(String, bool), String> {
 /// Loads a netlist file, auto-detecting the gate-level dialect. Shares
 /// the daemon's parser (and its default input limits).
 fn load(path: &str) -> Result<Circuit, String> {
+    load_with(path, &ParseLimits::default())
+}
+
+/// [`load`] with explicit parse limits (see [`input_limits`]).
+fn load_with(path: &str, limits: &ParseLimits) -> Result<Circuit, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    smo::api::parse_netlist(&src, &ParseLimits::default()).map_err(|e| format!("{path}: {e}"))
+    smo::api::parse_netlist(&src, limits).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parse limits for a `--max-input-mb` value: the daemon's strict defaults
+/// when absent; otherwise the byte/line/element caps scale together with
+/// the requested megabytes (the per-line caps stay put — bigger circuits
+/// mean more lines, not longer ones). The daemon itself always keeps the
+/// defaults: inline requests from untrusted clients do not get a knob.
+fn input_limits(max_mb: Option<usize>) -> Result<ParseLimits, String> {
+    match max_mb {
+        None => Ok(ParseLimits::default()),
+        Some(0) => Err("--max-input-mb must be at least 1".into()),
+        Some(mb) => Ok(ParseLimits {
+            max_bytes: mb.saturating_mul(1 << 20),
+            max_lines: mb.saturating_mul(50_000),
+            max_elements: mb.saturating_mul(25_000),
+            ..ParseLimits::default()
+        }),
+    }
 }

@@ -551,6 +551,104 @@ fn check_pinned_cycle_time_and_backends() {
 }
 
 #[test]
+fn solve_max_input_mb_gates_oversized_netlists() {
+    // A valid netlist padded past the 4 MiB default cap with comment
+    // lines: rejected with the structured limit error by default,
+    // accepted once the operator raises the cap, and a zero cap is
+    // refused outright.
+    let dir = tempdir();
+    let path = dir.join("padded.ckt");
+    let mut src = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("circuits/example1.ckt"),
+    )
+    .expect("shipped netlist reads");
+    let pad = format!("# {}\n", "x".repeat(1000));
+    while src.len() <= 4 << 20 {
+        src.push_str(&pad);
+    }
+    std::fs::write(&path, &src).expect("writable");
+    let p = path.to_str().expect("utf-8");
+
+    let out = smo(&["solve", p]);
+    assert!(!out.status.success(), "default limits must reject >4 MiB");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("exceeds the input bytes limit"), "{err}");
+
+    let out = smo(&["solve", p, "--max-input-mb", "8"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("certified: true"));
+
+    let out = smo(&["solve", p, "--max-input-mb", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least 1"));
+}
+
+#[test]
+fn solve_under_the_raised_cap_still_enforces_it() {
+    // Just under the raised cap parses; just over it still fails — the
+    // flag moves the fence, it does not remove it.
+    let dir = tempdir();
+    let path = dir.join("underpadded.ckt");
+    let mut src = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("circuits/example1.ckt"),
+    )
+    .expect("shipped netlist reads");
+    let pad = format!("# {}\n", "x".repeat(1000));
+    while src.len() <= (5 << 20) - 2048 {
+        src.push_str(&pad);
+    }
+    std::fs::write(&path, &src).expect("writable");
+    let p = path.to_str().expect("utf-8");
+
+    let out = smo(&["solve", p, "--max-input-mb", "5"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = smo(&["solve", p, "--max-input-mb", "4"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("exceeds the input bytes limit"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn solve_pricing_flag_is_accepted_and_verdict_invariant() {
+    for pricing in ["devex", "partial", "bland"] {
+        let out = smo(&[
+            "solve",
+            "circuits/example1.ckt",
+            "--backend",
+            "lp",
+            "--variant",
+            "sparse",
+            "--pricing",
+            pricing,
+        ]);
+        assert!(
+            out.status.success(),
+            "--pricing {pricing}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = stdout(&out);
+        assert!(text.contains("110.000000"), "--pricing {pricing}: {text}");
+        assert!(text.contains("certified: true"), "--pricing {pricing}");
+    }
+
+    let out = smo(&["solve", "circuits/example1.ckt", "--pricing", "quantum"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown pricing"));
+}
+
+#[test]
 fn check_rejects_bad_arguments() {
     let out = smo(&["check"]);
     assert!(!out.status.success());

@@ -37,7 +37,11 @@ fn assert_variants_agree(name: &str, circuit: &Circuit, budget: SolveBudget) -> 
     let model = TimingModel::build(circuit).unwrap_or_else(|e| panic!("{name}: model: {e}"));
     let mut reference: Option<(SimplexVariant, Status, Option<f64>)> = None;
     for variant in VARIANTS {
-        let policy = RecoveryPolicy { variant, budget };
+        let policy = RecoveryPolicy {
+            variant,
+            budget,
+            ..Default::default()
+        };
         let certified = model
             .problem()
             .solve_certified(&policy)
@@ -148,6 +152,7 @@ fn generated_5k_rows_sparse_certifies_under_time_budget() {
         .solve_certified(&RecoveryPolicy {
             variant: SimplexVariant::SparseLu,
             budget: sparse_budget,
+            ..Default::default()
         })
         .expect("sparse-LU certifies 5k rows inside the budget");
     assert_eq!(sparse.status(), Status::Optimal);
@@ -158,10 +163,11 @@ fn generated_5k_rows_sparse_certifies_under_time_budget() {
     // path), so the budget mostly bounds CI time.
     let budget = SolveBudget::with_time_limit(Duration::from_secs(45));
     for variant in [SimplexVariant::Dense, SimplexVariant::Revised] {
-        match model
-            .problem()
-            .solve_certified(&RecoveryPolicy { variant, budget })
-        {
+        match model.problem().solve_certified(&RecoveryPolicy {
+            variant,
+            budget,
+            ..Default::default()
+        }) {
             Ok(certified) => {
                 assert_eq!(certified.status(), Status::Optimal, "{variant:?}");
                 let other = certified.solution().objective().expect("optimal objective");
